@@ -1,0 +1,151 @@
+package gpmr_test
+
+// One testing.B benchmark per table and figure of the paper's evaluation.
+// Each benchmark regenerates its artifact through internal/bench and
+// reports the headline simulated metrics via b.ReportMetric, so
+// `go test -bench=. -benchmem` reproduces the whole evaluation. Host
+// ns/op measures simulator throughput, not GPMR performance; the paper's
+// quantities are the custom metrics (sim-ms, speedup, efficiency, pct).
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// benchOpts keeps bench runs quick; raise PhysBudget (or use cmd/gpmrbench
+// -phys) for higher functional fidelity.
+var benchOpts = bench.Options{PhysBudget: 1 << 14, GPUCounts: []int{1, 4, 8, 16, 32, 64}}
+
+func BenchmarkTable1Datasets(b *testing.B) {
+	// Table 1 is configuration, not measurement: validate that every
+	// strong-scaling input builds and runs at 1 GPU.
+	for i := 0; i < b.N; i++ {
+		for _, name := range bench.Benchmarks {
+			size := bench.Fig3Sizes[name][0]
+			if _, _, err := bench.Run(name, size, 1, benchOpts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func benchmarkFig3(b *testing.B, name string) {
+	var res *bench.Fig3Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = bench.Fig3(name, benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	last := res.Series[len(res.Series)-1] // the largest input's curve
+	for _, p := range last.Points {
+		if p.GPUs == 64 {
+			b.ReportMetric(p.Efficiency, "eff@64gpu")
+			b.ReportMetric(p.Speedup, "speedup@64gpu")
+		}
+	}
+	b.ReportMetric(last.Points[0].Wall.Seconds()*1e3, "sim-ms@1gpu")
+}
+
+func BenchmarkFig3MM(b *testing.B)  { benchmarkFig3(b, "mm") }
+func BenchmarkFig3SIO(b *testing.B) { benchmarkFig3(b, "sio") }
+func BenchmarkFig3WO(b *testing.B)  { benchmarkFig3(b, "wo") }
+func BenchmarkFig3KMC(b *testing.B) { benchmarkFig3(b, "kmc") }
+func BenchmarkFig3LR(b *testing.B)  { benchmarkFig3(b, "lr") }
+
+func BenchmarkFig2Breakdown(b *testing.B) {
+	var rows []bench.Fig2Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = bench.Fig2(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.Bench == "sio" && r.GPUs == 1 {
+			b.ReportMetric(r.Breakdown.Sort*100, "sio-sort-pct@1gpu")
+		}
+		if r.Bench == "sio" && r.GPUs == 64 {
+			b.ReportMetric(r.Breakdown.CompleteBinning*100, "sio-bin-pct@64gpu")
+		}
+		if r.Bench == "mm" && r.GPUs == 64 {
+			b.ReportMetric(r.Breakdown.Map*100, "mm-map-pct@64gpu")
+		}
+	}
+}
+
+func BenchmarkTable2VsPhoenix(b *testing.B) {
+	var rows []bench.SpeedupRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = bench.Table2(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.Speedup1, r.Bench+"-x1gpu")
+	}
+}
+
+func BenchmarkTable3VsMars(b *testing.B) {
+	var rows []bench.SpeedupRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = bench.Table3(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.Speedup1, r.Bench+"-x1gpu")
+	}
+}
+
+func BenchmarkTable4LoC(b *testing.B) {
+	var rows []bench.LoCRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = bench.Table4(".")
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(float64(r.GPMR), r.Bench+"-gpmr-loc")
+	}
+}
+
+func BenchmarkWeakScaling(b *testing.B) {
+	var last float64
+	for i := 0; i < b.N; i++ {
+		pts, err := bench.Weak("kmc", benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = pts[len(pts)-1].Efficiency
+	}
+	b.ReportMetric(last, "kmc-weak-eff@64gpu")
+}
+
+func BenchmarkAblations(b *testing.B) {
+	var rows []bench.AblationRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = bench.Ablation(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.Name == "wo: no accumulation" {
+			b.ReportMetric(r.Slowdown, "wo-noaccum-slowdown")
+		}
+		if r.Name == "sio@64GPU: gpudirect" {
+			b.ReportMetric(r.Slowdown, "gpudirect-ratio")
+		}
+	}
+}

@@ -1,0 +1,28 @@
+// Command gpmrloc regenerates Table 4: benchmark source-line counts for
+// the MM, KMC, and WO implementations under each framework (our Go
+// implementations, with the paper's C++/CUDA counts alongside).
+//
+// Usage:
+//
+//	gpmrloc [repo root]
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	rows, err := bench.Table4(root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gpmrloc: %v\n", err)
+		os.Exit(1)
+	}
+	bench.RenderTable4(os.Stdout, rows)
+}

@@ -1,0 +1,96 @@
+// Package gpmr is a Go reproduction of GPMR, the stand-alone MapReduce
+// library for GPU clusters of Stuart & Owens, "Multi-GPU MapReduce on GPU
+// Clusters" (IPDPS 2011).
+//
+// GPMR modifies the MapReduce model for GPUs: map and reduce items are
+// batched into Chunks to keep the GPU full and to support out-of-core
+// datasets; an Accumulation substage keeps map output resident on the GPU
+// across chunks; a Partial Reduction substage folds like-keyed pairs before
+// they cross PCIe; a Combine substage (executed once, after all maps)
+// minimizes network traffic; Partition and Sort are user-replaceable with
+// sensible defaults; and a CPU-side Bin substage overlaps network
+// communication with GPU compute. One process drives each GPU, with
+// dynamic work queues that shift chunks for load balance.
+//
+// Because Go has no CUDA bindings, the hardware substrate is a
+// deterministic discrete-event simulation of the paper's testbed (Tesla
+// S1070 GPUs, shared PCIe host interface cards, QDR InfiniBand). Kernels
+// run real Go code over real data — every result is exact and testable —
+// while their simulated cost comes from a calibrated roofline model. See
+// DESIGN.md for the substitution argument and EXPERIMENTS.md for
+// paper-vs-measured results.
+//
+// # Quick start
+//
+// Implement a Mapper (and usually a Reducer), wrap your input as Chunks,
+// and run a Job:
+//
+//	job := &gpmr.Job[uint32]{
+//	    Config:      gpmr.Config{GPUs: 4, GatherOutput: true},
+//	    Chunks:      chunks,
+//	    Mapper:      myMapper{},
+//	    Partitioner: gpmr.RoundRobin{},
+//	    Reducer:     myReducer{},
+//	}
+//	res, err := job.Run()
+//
+// See examples/ for runnable programs and internal/apps for the paper's
+// five benchmarks built on this API.
+package gpmr
+
+import (
+	"repro/internal/core"
+	"repro/internal/des"
+)
+
+// Core pipeline types, re-exported from the implementation package.
+type (
+	// Config controls a job's pipeline shape and cluster.
+	Config = core.Config
+	// Chunk is one indivisible unit of map work.
+	Chunk = core.Chunk
+	// Job describes one GPMR run.
+	Job[V any] = core.Job[V]
+	// Result is a completed job's output.
+	Result[V any] = core.Result[V]
+	// Trace is a job's timing record.
+	Trace = core.Trace
+	// Breakdown is a Figure-2-style runtime decomposition.
+	Breakdown = core.Breakdown
+
+	// Mapper is the user's map stage.
+	Mapper[V any] = core.Mapper[V]
+	// Reducer is the user's reduce stage.
+	Reducer[V any] = core.Reducer[V]
+	// Partitioner assigns keys to reduce ranks.
+	Partitioner = core.Partitioner
+	// Combiner merges all values of a key once after all maps.
+	Combiner[V any] = core.Combiner[V]
+	// PartialReducer folds like-keyed pairs before PCIe transfer.
+	PartialReducer[V any] = core.PartialReducer[V]
+	// Sorter customizes the Sort stage's cost model.
+	Sorter = core.Sorter
+
+	// MapContext is the mapper's window onto the device and pipeline.
+	MapContext[V any] = core.MapContext[V]
+	// ReduceContext is the reducer's window onto the device.
+	ReduceContext[V any] = core.ReduceContext[V]
+
+	// RoundRobin is the default integer-key partitioner.
+	RoundRobin = core.RoundRobin
+	// BlockPartitioner assigns consecutive key blocks to ranks.
+	BlockPartitioner = core.BlockPartitioner
+	// RadixSorter is the default CUDPP-radix Sorter.
+	RadixSorter = core.RadixSorter
+
+	// Time is simulated time in nanoseconds.
+	Time = des.Time
+)
+
+// DefaultStartup is the per-job spin-up the benchmark apps charge.
+const DefaultStartup = core.DefaultStartup
+
+// FitAllChunking is a helper for Reducer.ChunkValueSets implementations.
+func FitAllChunking(sets int, virtVals, freeBytes, valBytes int64) int {
+	return core.FitAllChunking(sets, virtVals, freeBytes, valBytes)
+}

@@ -1,0 +1,50 @@
+// Package apputil holds helpers shared by the five benchmark applications:
+// physical/virtual dataset splitting and chunk-count planning.
+//
+// Every benchmark accepts its dataset size in *virtual* (paper-scale)
+// elements and materializes at most PhysMax physical elements, setting the
+// job's VirtFactor to the ratio; kernels compute on the physical data while
+// all costs are charged at paper scale (DESIGN.md, "virtual replication").
+package apputil
+
+// Scale plans the physical materialization of a virtual dataset.
+type Scale struct {
+	VirtElems int64 // paper-scale element count
+	PhysElems int   // materialized elements
+	Factor    int64 // VirtElems / PhysElems (exact)
+}
+
+// PlanScale picks the smallest integer factor that keeps the physical
+// element count at or below physMax, then rounds the virtual count down to
+// an exact multiple (at most factor-1 elements, < 0.01% at any real size).
+func PlanScale(virtElems int64, physMax int) Scale {
+	if virtElems <= 0 {
+		panic("apputil: non-positive dataset size")
+	}
+	if physMax <= 0 {
+		physMax = 1 << 20
+	}
+	factor := (virtElems + int64(physMax) - 1) / int64(physMax)
+	if factor < 1 {
+		factor = 1
+	}
+	phys := virtElems / factor
+	if phys < 1 {
+		phys = 1
+	}
+	return Scale{VirtElems: phys * factor, PhysElems: int(phys), Factor: factor}
+}
+
+// NumChunks returns how many chunks to cut a dataset into: enough that no
+// chunk exceeds maxVirtPerChunk (GPU memory planning) and at least two per
+// GPU so the loader/mapper pipeline has work to overlap.
+func NumChunks(virtElems, maxVirtPerChunk int64, gpus int) int {
+	if maxVirtPerChunk <= 0 {
+		panic("apputil: non-positive chunk cap")
+	}
+	n := (virtElems + maxVirtPerChunk - 1) / maxVirtPerChunk
+	if min := int64(2 * gpus); n < min {
+		n = min
+	}
+	return int(n)
+}

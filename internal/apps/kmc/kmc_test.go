@@ -1,0 +1,105 @@
+package kmc
+
+import (
+	"math"
+	"testing"
+)
+
+func testParams(points int64, gpus int) Params {
+	return Params{Points: points, GPUs: gpus, PhysMax: 1 << 12, Centers: 8, Dim: 4}
+}
+
+func gatherSums(t *testing.T, p Params) (map[uint32]float64, *Built, int64) {
+	t.Helper()
+	b := NewJob(p)
+	res := b.Job.MustRun()
+	got := make(map[uint32]float64)
+	for i, k := range res.Output.Keys {
+		got[k] += res.Output.Vals[i]
+	}
+	return got, b, b.Job.Config.VirtFactor
+}
+
+func checkSums(t *testing.T, got, ref map[uint32]float64) {
+	t.Helper()
+	if len(got) != len(ref) {
+		t.Fatalf("%d keys, want %d", len(got), len(ref))
+	}
+	for k, want := range ref {
+		g := got[k]
+		if math.Abs(g-want) > 1e-6*(math.Abs(want)+1) {
+			t.Fatalf("key %d: %g, want %g", k, g, want)
+		}
+	}
+}
+
+func TestCorrectnessSingleGPU(t *testing.T) {
+	got, b, vf := gatherSums(t, testParams(1<<12, 1))
+	checkSums(t, got, b.Reference(vf))
+}
+
+func TestCorrectnessMultiGPU(t *testing.T) {
+	got, b, vf := gatherSums(t, testParams(1<<12, 4))
+	checkSums(t, got, b.Reference(vf))
+}
+
+func TestVirtualScaling(t *testing.T) {
+	got, b, vf := gatherSums(t, testParams(1<<20, 2))
+	if vf < 2 {
+		t.Fatalf("expected virtual factor > 1, got %d", vf)
+	}
+	checkSums(t, got, b.Reference(vf))
+}
+
+func TestPartitionerGroupsCenters(t *testing.T) {
+	pt := partitioner{dim: 4}
+	for c := 0; c < 8; c++ {
+		want := pt.Rank(keyOf(c, 0, 4), 4)
+		for s := 1; s <= 4; s++ {
+			if got := pt.Rank(keyOf(c, s, 4), 4); got != want {
+				t.Errorf("center %d slot %d routed to %d, want %d", c, s, got, want)
+			}
+		}
+	}
+}
+
+func TestNewCentersMeansPoints(t *testing.T) {
+	p := testParams(1<<12, 2)
+	got, b, vf := gatherSums(t, p)
+	centers := NewCenters(got, p.Centers, p.Dim, vf)
+	if len(centers) != p.Centers {
+		t.Fatalf("%d centers", len(centers))
+	}
+	// New centers must be means of assigned points: recompute from the
+	// reference sums and compare.
+	ref := b.Reference(vf)
+	for ci := 0; ci < p.Centers; ci++ {
+		count := ref[keyOf(ci, p.Dim, p.Dim)]
+		for d := 0; d < p.Dim; d++ {
+			want := float32(0)
+			if count > 0 {
+				want = float32(ref[keyOf(ci, d, p.Dim)] / count)
+			}
+			if diff := float64(centers[ci][d] - want); math.Abs(diff) > 1e-3 {
+				t.Fatalf("center %d dim %d: %f, want %f", ci, d, centers[ci][d], want)
+			}
+		}
+	}
+}
+
+func TestMapComputeBound(t *testing.T) {
+	// Paper: KMC is mostly compute-bound in Map.
+	b := NewJob(Params{Points: 32 << 20, GPUs: 4, PhysMax: 1 << 12, Centers: 32, Dim: 4})
+	res := b.Job.MustRun()
+	br := res.Trace.Breakdown()
+	if br.Map < 0.5 {
+		t.Errorf("KMC map fraction %.2f — expected map-dominated", br.Map)
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	b := NewJob(Params{Points: 1 << 12, GPUs: 1, PhysMax: 1 << 12})
+	if len(b.Centers) != 32 || b.Dim != 4 {
+		t.Errorf("defaults: centers=%d dim=%d", len(b.Centers), b.Dim)
+	}
+}

@@ -1,0 +1,87 @@
+package lr
+
+import (
+	"math"
+	"testing"
+)
+
+func gatherSums(t *testing.T, p Params) (map[uint32]float64, *Built) {
+	t.Helper()
+	b := NewJob(p)
+	res := b.Job.MustRun()
+	got := make(map[uint32]float64)
+	for i, k := range res.Output.Keys {
+		got[k] += res.Output.Vals[i]
+	}
+	return got, b
+}
+
+func TestCorrectnessSingleGPU(t *testing.T) {
+	got, b := gatherSums(t, Params{Points: 1 << 12, GPUs: 1, PhysMax: 1 << 12})
+	ref := b.Reference(1)
+	if len(got) != int(NumKeys) {
+		t.Fatalf("%d keys, want %d", len(got), NumKeys)
+	}
+	for k, want := range ref {
+		if math.Abs(got[k]-want) > 1e-6*(math.Abs(want)+1) {
+			t.Fatalf("key %d: %g, want %g", k, got[k], want)
+		}
+	}
+}
+
+func TestCorrectnessMultiGPU(t *testing.T) {
+	p := Params{Points: 1 << 14, GPUs: 8, PhysMax: 1 << 12}
+	got, b := gatherSums(t, p)
+	ref := b.Reference(b.Job.Config.VirtFactor)
+	for k, want := range ref {
+		if math.Abs(got[k]-want) > 1e-6*(math.Abs(want)+1) {
+			t.Fatalf("key %d: %g, want %g", k, got[k], want)
+		}
+	}
+}
+
+func TestFitRecoversModel(t *testing.T) {
+	got, _ := gatherSums(t, Params{Points: 1 << 16, GPUs: 4, PhysMax: 1 << 16, A: 2, B: 3, Noise: 0.5})
+	a, b := Fit(got)
+	if math.Abs(a-2) > 0.1 || math.Abs(b-3) > 0.02 {
+		t.Errorf("fit a=%.3f b=%.3f, want 2,3", a, b)
+	}
+}
+
+func TestFitEmptyInput(t *testing.T) {
+	a, b := Fit(map[uint32]float64{})
+	if a != 0 || b != 0 {
+		t.Errorf("empty fit = %f,%f", a, b)
+	}
+}
+
+func TestSixKeysOnly(t *testing.T) {
+	got, _ := gatherSums(t, Params{Points: 1 << 12, GPUs: 4, PhysMax: 1 << 12})
+	if len(got) != int(NumKeys) {
+		t.Errorf("emitted %d keys, paper says exactly %d", len(got), NumKeys)
+	}
+}
+
+func TestNoPartitionerMeansRankZeroReduces(t *testing.T) {
+	b := NewJob(Params{Points: 1 << 12, GPUs: 4, PhysMax: 1 << 12})
+	res := b.Job.MustRun()
+	for r := 1; r < 4; r++ {
+		if res.PerRank[r].Len() != 0 {
+			t.Errorf("rank %d produced output despite nil partitioner", r)
+		}
+	}
+}
+
+func TestLightMapCommunicationSensitive(t *testing.T) {
+	// The paper: per-element map time is tiny, so multi-node communication
+	// hurts LR's efficiency disproportionately past one node.
+	mk := func(gpus int) float64 {
+		b := NewJob(Params{Points: 64 << 20, GPUs: gpus, PhysMax: 1 << 12})
+		return b.Job.MustRun().Trace.Wall.Seconds()
+	}
+	t4, t8 := mk(4), mk(8)
+	eff8 := t4 * 4 / (t8 * 8)
+	if eff8 > 0.95 {
+		t.Errorf("LR 8-GPU relative efficiency %.2f — expected communication-limited scaling", eff8)
+	}
+}

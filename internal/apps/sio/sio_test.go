@@ -1,0 +1,105 @@
+package sio
+
+import (
+	"testing"
+
+	"repro/internal/keyval"
+)
+
+func collect(perRank []keyval.Pairs[uint32]) map[uint32]uint32 {
+	got := make(map[uint32]uint32)
+	for _, pr := range perRank {
+		for i, k := range pr.Keys {
+			got[k] += pr.Vals[i]
+		}
+	}
+	return got
+}
+
+func TestCorrectnessSingleGPU(t *testing.T) {
+	job, data := NewJob(Params{Elements: 1 << 14, GPUs: 1, PhysMax: 1 << 14})
+	res := job.MustRun()
+	got := collect(res.PerRank)
+	ref := Reference(data)
+	if len(got) != len(ref) {
+		t.Fatalf("%d distinct keys, want %d", len(got), len(ref))
+	}
+	for k, want := range ref {
+		if got[k] != want {
+			t.Fatalf("key %d: %d, want %d", k, got[k], want)
+		}
+	}
+}
+
+func TestCorrectnessMultiGPU(t *testing.T) {
+	for _, gpus := range []int{2, 4, 8} {
+		job, data := NewJob(Params{Elements: 1 << 14, GPUs: gpus, PhysMax: 1 << 14})
+		res := job.MustRun()
+		got := collect(res.PerRank)
+		ref := Reference(data)
+		for k, want := range ref {
+			if got[k] != want {
+				t.Fatalf("gpus=%d key %d: %d, want %d", gpus, k, got[k], want)
+			}
+		}
+		// Round-robin partitioning: every reducer should hold some keys.
+		for r, pr := range res.PerRank {
+			if pr.Len() == 0 {
+				t.Errorf("gpus=%d rank %d reduced nothing", gpus, r)
+			}
+		}
+	}
+}
+
+func TestVirtualScalingPreservesCounts(t *testing.T) {
+	job, data := NewJob(Params{Elements: 1 << 22, GPUs: 2, PhysMax: 1 << 12})
+	if job.Config.VirtFactor != 1<<10 {
+		t.Fatalf("virt factor %d, want 1024", job.Config.VirtFactor)
+	}
+	res := job.MustRun()
+	got := collect(res.PerRank)
+	ref := Reference(data)
+	for k, want := range ref {
+		if got[k] != want {
+			t.Fatalf("key %d: %d, want %d", k, got[k], want)
+		}
+	}
+}
+
+func TestSortDominatesSingleGPU(t *testing.T) {
+	// Paper Figure 2: SIO on 1 GPU is bottlenecked by Sort.
+	job, _ := NewJob(Params{Elements: 32 << 20, GPUs: 1, PhysMax: 1 << 14})
+	res := job.MustRun()
+	b := res.Trace.Breakdown()
+	if b.Sort < b.Map {
+		t.Errorf("1-GPU SIO: sort %.2f < map %.2f — paper says sort-bound", b.Sort, b.Map)
+	}
+}
+
+func TestInCoreSuperLinearRegime(t *testing.T) {
+	// 128M elements: 1 GPU must spill, 4 GPUs must not (Figure 3).
+	j1, _ := NewJob(Params{Elements: 128 << 20, GPUs: 1, PhysMax: 1 << 14})
+	r1 := j1.MustRun()
+	if !r1.Trace.Ranks[0].OutOfCore {
+		t.Error("128M on 1 GPU should sort out-of-core")
+	}
+	j4, _ := NewJob(Params{Elements: 128 << 20, GPUs: 4, PhysMax: 1 << 14})
+	r4 := j4.MustRun()
+	for r, tr := range r4.Trace.Ranks {
+		if tr.OutOfCore {
+			t.Errorf("rank %d spilled with 4 GPUs", r)
+		}
+	}
+	speedup := float64(r1.Trace.Wall) / float64(r4.Trace.Wall)
+	if speedup <= 4.0 {
+		t.Errorf("4-GPU speedup %.2f not super-linear despite in-core transition", speedup)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a, _ := NewJob(Params{Elements: 1 << 16, GPUs: 4, PhysMax: 1 << 12})
+	b, _ := NewJob(Params{Elements: 1 << 16, GPUs: 4, PhysMax: 1 << 12})
+	if a.MustRun().Trace.Wall != b.MustRun().Trace.Wall {
+		t.Error("SIO run not deterministic")
+	}
+}

@@ -1,0 +1,101 @@
+package wo
+
+import (
+	"testing"
+)
+
+func testParams(bytes int64, gpus int) Params {
+	return Params{
+		Bytes:    bytes,
+		GPUs:     gpus,
+		PhysMax:  1 << 14,
+		DictSize: 500, // small dictionary keeps MPH build fast in tests
+	}
+}
+
+func runAndCheck(t *testing.T, p Params) *Built {
+	t.Helper()
+	b := NewJob(p)
+	res := b.Job.MustRun()
+	ref := b.Reference()
+	got := make(map[uint32]uint32)
+	for i, k := range res.Output.Keys {
+		got[k] += res.Output.Vals[i]
+	}
+	for k, want := range ref {
+		if got[k] != want {
+			t.Fatalf("slot %d: count %d, want %d", k, got[k], want)
+		}
+	}
+	// Every dictionary slot must be present — the initial map emits all
+	// keys with value 0, so zero-count words survive to the output.
+	if len(got) != p.DictSize {
+		t.Fatalf("output has %d slots, want the full dictionary (%d)", len(got), p.DictSize)
+	}
+	return b
+}
+
+func TestCorrectnessSingleGPU(t *testing.T) {
+	runAndCheck(t, testParams(1<<14, 1))
+}
+
+func TestCorrectnessMultiGPU(t *testing.T) {
+	runAndCheck(t, testParams(1<<15, 4))
+}
+
+func TestCorrectnessAboveCrossover(t *testing.T) {
+	runAndCheck(t, testParams(1<<15, 16))
+}
+
+func TestPartitionerCrossover(t *testing.T) {
+	below := NewJob(testParams(1<<14, PartitionerCrossover))
+	if below.Job.Partitioner != nil {
+		t.Error("partitioner enabled at crossover count")
+	}
+	above := NewJob(testParams(1<<14, PartitionerCrossover+1))
+	if above.Job.Partitioner == nil {
+		t.Error("partitioner not enabled above crossover")
+	}
+}
+
+func TestForcePartitioner(t *testing.T) {
+	p := testParams(1<<14, 2)
+	p.ForcePartitioner = 1
+	if NewJob(p).Job.Partitioner == nil {
+		t.Error("ForcePartitioner=1 ignored")
+	}
+	p.ForcePartitioner = -1
+	if NewJob(p).Job.Partitioner != nil {
+		t.Error("ForcePartitioner=-1 ignored")
+	}
+}
+
+func TestAccumulationCapsTraffic(t *testing.T) {
+	// With accumulation, per-GPU traffic is one dictionary-sized table, no
+	// matter how much text was mapped.
+	small := NewJob(testParams(1<<14, 4)).Job.MustRun()
+	big := NewJob(testParams(1<<20, 4)).Job.MustRun()
+	if big.Trace.WireBytes+big.Trace.LocalBytes > 2*(small.Trace.WireBytes+small.Trace.LocalBytes) {
+		t.Errorf("traffic grew with input size despite accumulation: %d vs %d",
+			big.Trace.WireBytes+big.Trace.LocalBytes, small.Trace.WireBytes+small.Trace.LocalBytes)
+	}
+}
+
+func TestVirtualFactorScalesCounts(t *testing.T) {
+	p := testParams(1<<20, 2) // 1 MB virtual, 16 KB physical -> factor 64
+	b := NewJob(p)
+	if b.Job.Config.VirtFactor < 2 {
+		t.Fatalf("expected virtual scaling, factor=%d", b.Job.Config.VirtFactor)
+	}
+	res := b.Job.MustRun()
+	ref := b.Reference()
+	got := make(map[uint32]uint32)
+	for i, k := range res.Output.Keys {
+		got[k] += res.Output.Vals[i]
+	}
+	for k, want := range ref {
+		if got[k] != want {
+			t.Fatalf("slot %d: %d, want %d (physical counts must be exact)", k, got[k], want)
+		}
+	}
+}

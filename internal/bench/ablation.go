@@ -1,0 +1,139 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/apps/kmc"
+	"repro/internal/apps/lr"
+	"repro/internal/apps/sio"
+	"repro/internal/apps/wo"
+	"repro/internal/des"
+)
+
+// AblationRow compares one pipeline variant against the paper's chosen
+// configuration.
+type AblationRow struct {
+	Name     string
+	Chosen   des.Time // the paper's configuration
+	Variant  des.Time
+	Slowdown float64 // Variant / Chosen (>1 means the paper chose right)
+}
+
+// Ablation regenerates the design-choice comparisons the paper argues in
+// prose: Accumulation for WO/KMC/LR ("dramatically worse" without),
+// Partial Reduction and Combine for SIO (rejected: no speedup / slowdown),
+// the WO partitioner crossover, and GPUDirect (the future-work wish).
+func Ablation(o Options) ([]AblationRow, error) {
+	o = o.withDefaults()
+	var rows []AblationRow
+
+	add := func(name string, chosen, variant des.Time) {
+		rows = append(rows, AblationRow{Name: name, Chosen: chosen, Variant: variant,
+			Slowdown: float64(variant) / float64(chosen)})
+	}
+
+	// Accumulation ablations at mid-size inputs on 8 GPUs.
+	{
+		base := wo.NewJob(wo.Params{Bytes: 64 << 20, GPUs: 8, PhysMax: o.PhysBudget, DictSize: woDict(o), Seed: o.Seed})
+		rb, err := base.Job.Run()
+		if err != nil {
+			return nil, err
+		}
+		noacc := wo.NewJob(wo.Params{Bytes: 64 << 20, GPUs: 8, PhysMax: o.PhysBudget, DictSize: woDict(o), Seed: o.Seed, NoAccumulation: true})
+		rn, err := noacc.Job.Run()
+		if err != nil {
+			return nil, err
+		}
+		add("wo: no accumulation", rb.Trace.Wall, rn.Trace.Wall)
+	}
+	{
+		base := kmc.NewJob(kmc.Params{Points: 32 << 20, GPUs: 8, PhysMax: o.PhysBudget, Seed: o.Seed})
+		rb, err := base.Job.Run()
+		if err != nil {
+			return nil, err
+		}
+		noacc := kmc.NewJob(kmc.Params{Points: 32 << 20, GPUs: 8, PhysMax: o.PhysBudget, Seed: o.Seed, NoAccumulation: true})
+		rn, err := noacc.Job.Run()
+		if err != nil {
+			return nil, err
+		}
+		add("kmc: no accumulation", rb.Trace.Wall, rn.Trace.Wall)
+	}
+	{
+		base := lr.NewJob(lr.Params{Points: 64 << 20, GPUs: 8, PhysMax: o.PhysBudget, Seed: o.Seed})
+		rb, err := base.Job.Run()
+		if err != nil {
+			return nil, err
+		}
+		noacc := lr.NewJob(lr.Params{Points: 64 << 20, GPUs: 8, PhysMax: o.PhysBudget, Seed: o.Seed, NoAccumulation: true})
+		rn, err := noacc.Job.Run()
+		if err != nil {
+			return nil, err
+		}
+		add("lr: no accumulation", rb.Trace.Wall, rn.Trace.Wall)
+	}
+
+	// SIO's rejected substages.
+	{
+		base, _ := sio.NewJob(sio.Params{Elements: 32 << 20, GPUs: 8, PhysMax: o.PhysBudget, Seed: o.Seed})
+		rb, err := base.Run()
+		if err != nil {
+			return nil, err
+		}
+		pr, _ := sio.NewJob(sio.Params{Elements: 32 << 20, GPUs: 8, PhysMax: o.PhysBudget, Seed: o.Seed, UsePartialReduce: true})
+		rp, err := pr.Run()
+		if err != nil {
+			return nil, err
+		}
+		add("sio: partial reduce", rb.Trace.Wall, rp.Trace.Wall)
+		cb, _ := sio.NewJob(sio.Params{Elements: 32 << 20, GPUs: 8, PhysMax: o.PhysBudget, Seed: o.Seed, UseCombiner: true})
+		rc, err := cb.Run()
+		if err != nil {
+			return nil, err
+		}
+		add("sio: combine", rb.Trace.Wall, rc.Trace.Wall)
+	}
+
+	// WO partitioner crossover: at 64 GPUs the partitioner must win; at 4
+	// GPUs the single-reducer configuration must win.
+	{
+		on := wo.NewJob(wo.Params{Bytes: 512 << 20, GPUs: 64, PhysMax: o.PhysBudget, DictSize: woDict(o), Seed: o.Seed, ForcePartitioner: 1})
+		ron, err := on.Job.Run()
+		if err != nil {
+			return nil, err
+		}
+		off := wo.NewJob(wo.Params{Bytes: 512 << 20, GPUs: 64, PhysMax: o.PhysBudget, DictSize: woDict(o), Seed: o.Seed, ForcePartitioner: -1})
+		roff, err := off.Job.Run()
+		if err != nil {
+			return nil, err
+		}
+		add("wo@64GPU: partitioner off", ron.Trace.Wall, roff.Trace.Wall)
+	}
+
+	// GPUDirect: the paper's closing hardware wish, as a what-if.
+	{
+		base, _ := sio.NewJob(sio.Params{Elements: 128 << 20, GPUs: 64, PhysMax: o.PhysBudget, Seed: o.Seed})
+		rb, err := base.Run()
+		if err != nil {
+			return nil, err
+		}
+		direct, _ := sio.NewJob(sio.Params{Elements: 128 << 20, GPUs: 64, PhysMax: o.PhysBudget, Seed: o.Seed})
+		direct.Config.GPUDirect = true
+		rd, err := direct.Run()
+		if err != nil {
+			return nil, err
+		}
+		add("sio@64GPU: gpudirect", rb.Trace.Wall, rd.Trace.Wall)
+	}
+	return rows, nil
+}
+
+// RenderAblation writes the comparison table.
+func RenderAblation(w io.Writer, rows []AblationRow) {
+	fmt.Fprintln(w, "Ablations — paper's configuration vs variant")
+	fmt.Fprintf(w, "%-28s %14s %14s %10s\n", "variant", "chosen", "variant", "x slower")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-28s %14v %14v %10.2f\n", r.Name, r.Chosen, r.Variant, r.Slowdown)
+	}
+}

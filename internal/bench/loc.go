@@ -1,0 +1,106 @@
+package bench
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// LoCRow is one Table 4 column: source lines for a benchmark under each
+// framework. The paper counted benchmark code excluding setup; we count
+// our Go implementations the same way (GPMR: the app package; Phoenix and
+// Mars: the app's adapter declarations), alongside the paper's numbers
+// for its C++/CUDA code.
+type LoCRow struct {
+	Bench                              string
+	Phoenix, Mars, GPMR                int
+	PaperPhoenix, PaperMars, PaperGPMR int
+}
+
+var table4Paper = map[string][3]int{
+	// Phoenix, Mars, GPMR per the paper's Table 4.
+	"mm": {317, 235, 214}, "kmc": {345, 152, 129}, "wo": {231, 140, 397},
+}
+
+// Table4 counts benchmark source lines. root is the repository root.
+func Table4(root string) ([]LoCRow, error) {
+	var rows []LoCRow
+	for _, b := range []string{"mm", "kmc", "wo"} {
+		gp, err := countPackageLines(filepath.Join(root, "internal", "apps", b))
+		if err != nil {
+			return nil, err
+		}
+		ph, err := countDeclLines(filepath.Join(root, "internal", "phoenix", "apps.go"), b)
+		if err != nil {
+			return nil, err
+		}
+		ma, err := countDeclLines(filepath.Join(root, "internal", "mars", "apps.go"), b)
+		if err != nil {
+			return nil, err
+		}
+		p := table4Paper[b]
+		rows = append(rows, LoCRow{Bench: b, Phoenix: ph, Mars: ma, GPMR: gp,
+			PaperPhoenix: p[0], PaperMars: p[1], PaperGPMR: p[2]})
+	}
+	return rows, nil
+}
+
+// countPackageLines counts non-test Go lines in a package directory.
+func countPackageLines(dir string) (int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return 0, err
+		}
+		total += strings.Count(string(data), "\n")
+	}
+	return total, nil
+}
+
+// countDeclLines counts the lines of top-level declarations in file whose
+// names start with the benchmark name (case-insensitive), e.g. MM, KMC.
+func countDeclLines(file, benchName string) (int, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, file, nil, parser.ParseComments)
+	if err != nil {
+		return 0, err
+	}
+	src, err := os.ReadFile(file)
+	if err != nil {
+		return 0, err
+	}
+	lines := strings.Split(string(src), "\n")
+	prefix := strings.ToUpper(benchName)
+	total := 0
+	for _, d := range f.Decls {
+		pos := fset.Position(d.Pos())
+		end := fset.Position(d.End())
+		first := lines[pos.Line-1]
+		if strings.Contains(first, "func "+prefix) {
+			total += end.Line - pos.Line + 1
+		}
+	}
+	return total, nil
+}
+
+// RenderTable4 writes the LoC comparison.
+func RenderTable4(w io.Writer, rows []LoCRow) {
+	fmt.Fprintln(w, "Table 4 — benchmark source lines (ours in Go; paper's C++/CUDA in parens)")
+	fmt.Fprintf(w, "%-6s %16s %16s %16s\n", "bench", "Phoenix", "Mars", "GPMR")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-6s %10d (%3d) %10d (%3d) %10d (%3d)\n",
+			r.Bench, r.Phoenix, r.PaperPhoenix, r.Mars, r.PaperMars, r.GPMR, r.PaperGPMR)
+	}
+}

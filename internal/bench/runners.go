@@ -1,0 +1,124 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (Section 6): Figure 2's runtime breakdowns, Figure 3's
+// parallel-efficiency curves, Table 1's dataset matrix, Table 2's
+// GPMR-vs-Phoenix speedups, Table 3's GPMR-vs-Mars speedups, and Table 4's
+// lines-of-code comparison — plus the weak-scaling runs the paper mentions
+// and the ablations it argues qualitatively (Accumulation on/off, SIO's
+// rejected Combine/Partial-Reduce, the WO partitioner crossover, and the
+// GPUDirect future-work wish).
+//
+// All results come from the same simulated-time domain; see DESIGN.md for
+// the calibration argument and EXPERIMENTS.md for paper-vs-measured.
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/apps/kmc"
+	"repro/internal/apps/lr"
+	"repro/internal/apps/mm"
+	"repro/internal/apps/sio"
+	"repro/internal/apps/wo"
+	"repro/internal/core"
+	"repro/internal/des"
+)
+
+// Options tunes harness fidelity against host wall-clock time.
+type Options struct {
+	// PhysBudget caps materialized elements per run. Larger is more
+	// faithful functionally but slower; costs are unaffected (virtual
+	// counts stay at paper scale). Default 1<<16.
+	PhysBudget int
+	// GPUCounts for scaling curves. Default {1, 4, 8, 16, 32, 64}, the
+	// x-axis of Figure 3.
+	GPUCounts []int
+	// Seed for workload generation.
+	Seed uint64
+}
+
+func (o Options) withDefaults() Options {
+	if o.PhysBudget <= 0 {
+		o.PhysBudget = 1 << 16
+	}
+	if len(o.GPUCounts) == 0 {
+		o.GPUCounts = []int{1, 4, 8, 16, 32, 64}
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Benchmarks lists the five apps in the paper's order.
+var Benchmarks = []string{"mm", "sio", "wo", "kmc", "lr"}
+
+// Run executes one GPMR benchmark at the given virtual size and GPU count,
+// returning the wall time and (for the two-job MM, the combined) trace.
+// Size units: MM matrix edge; WO corpus bytes; others element counts.
+func Run(benchName string, size int64, gpus int, o Options) (des.Time, *core.Trace, error) {
+	o = o.withDefaults()
+	switch benchName {
+	case "mm":
+		b, err := mm.New(mm.Params{Dim: size, GPUs: gpus, Seed: o.Seed})
+		if err != nil {
+			return 0, nil, err
+		}
+		_, tr1, tr2, err := b.Run()
+		if err != nil {
+			return 0, nil, err
+		}
+		// Combine the two jobs into one trace for reporting.
+		tr := &core.Trace{Name: "mm", GPUs: gpus, Wall: tr1.Wall + tr2.Wall,
+			WireBytes: tr1.WireBytes + tr2.WireBytes, LocalBytes: tr1.LocalBytes + tr2.LocalBytes}
+		for i := range tr1.Ranks {
+			r1, r2 := tr1.Ranks[i], tr2.Ranks[i]
+			tr.Ranks = append(tr.Ranks, core.RankTrace{
+				MapDone:      r1.MapDone + r2.MapDone,
+				ShuffleDone:  r1.ShuffleDone + r2.ShuffleDone,
+				SortDone:     r1.SortDone + r2.SortDone,
+				ReduceDone:   r1.ReduceDone + r2.ReduceDone,
+				ChunksMapped: r1.ChunksMapped + r2.ChunksMapped,
+				ChunksStolen: r1.ChunksStolen + r2.ChunksStolen,
+			})
+		}
+		return tr.Wall, tr, nil
+	case "sio":
+		job, _ := sio.NewJob(sio.Params{Elements: size, GPUs: gpus, Seed: o.Seed, PhysMax: o.PhysBudget})
+		res, err := job.Run()
+		if err != nil {
+			return 0, nil, err
+		}
+		return res.Trace.Wall, res.Trace, nil
+	case "wo":
+		b := wo.NewJob(wo.Params{Bytes: size, GPUs: gpus, Seed: o.Seed, PhysMax: o.PhysBudget, DictSize: woDict(o)})
+		res, err := b.Job.Run()
+		if err != nil {
+			return 0, nil, err
+		}
+		return res.Trace.Wall, res.Trace, nil
+	case "kmc":
+		b := kmc.NewJob(kmc.Params{Points: size, GPUs: gpus, Seed: o.Seed, PhysMax: o.PhysBudget})
+		res, err := b.Job.Run()
+		if err != nil {
+			return 0, nil, err
+		}
+		return res.Trace.Wall, res.Trace, nil
+	case "lr":
+		b := lr.NewJob(lr.Params{Points: size, GPUs: gpus, Seed: o.Seed, PhysMax: o.PhysBudget})
+		res, err := b.Job.Run()
+		if err != nil {
+			return 0, nil, err
+		}
+		return res.Trace.Wall, res.Trace, nil
+	}
+	return 0, nil, fmt.Errorf("bench: unknown benchmark %q", benchName)
+}
+
+// woDict keeps the MPH build fast for small physical budgets: the harness
+// uses a dictionary no larger than the materialized corpus could cover.
+func woDict(o Options) int {
+	if o.PhysBudget < 1<<20 {
+		return 4300 // 1/10th-scale dictionary for quick runs
+	}
+	return 0 // full 43,000 words
+}

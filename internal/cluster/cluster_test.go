@@ -1,0 +1,86 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/des"
+)
+
+func TestDefaultConfigPacking(t *testing.T) {
+	cases := []struct {
+		gpus, perNode, nodes int
+	}{
+		{1, 1, 1}, {2, 2, 1}, {4, 4, 1}, {8, 4, 2}, {64, 4, 16},
+	}
+	for _, c := range cases {
+		cfg := DefaultConfig(c.gpus)
+		if cfg.GPUsPerNode != c.perNode {
+			t.Errorf("GPUs=%d: perNode=%d, want %d", c.gpus, cfg.GPUsPerNode, c.perNode)
+		}
+		cl := New(des.NewEngine(), cfg)
+		if len(cl.Nodes) != c.nodes {
+			t.Errorf("GPUs=%d: %d nodes, want %d", c.gpus, len(cl.Nodes), c.nodes)
+		}
+		if cl.Ranks() != c.gpus {
+			t.Errorf("GPUs=%d: ranks=%d", c.gpus, cl.Ranks())
+		}
+	}
+}
+
+func TestPCIeSharing(t *testing.T) {
+	// On a 4-GPU node, GPUs 0,1 share link 0 and GPUs 2,3 share link 1.
+	cl := New(des.NewEngine(), DefaultConfig(4))
+	n := cl.Nodes[0]
+	if len(n.PCIe) != 2 {
+		t.Fatalf("%d PCIe links, want 2", len(n.PCIe))
+	}
+	if len(n.GPUs) != 4 {
+		t.Fatalf("%d GPUs on node", len(n.GPUs))
+	}
+}
+
+func TestNodeOfRank(t *testing.T) {
+	cl := New(des.NewEngine(), DefaultConfig(8))
+	if cl.NodeOfRank(0).ID != 0 || cl.NodeOfRank(3).ID != 0 {
+		t.Error("ranks 0-3 should be node 0")
+	}
+	if cl.NodeOfRank(4).ID != 1 || cl.NodeOfRank(7).ID != 1 {
+		t.Error("ranks 4-7 should be node 1")
+	}
+}
+
+func TestCPUResourceCapacity(t *testing.T) {
+	cl := New(des.NewEngine(), DefaultConfig(1))
+	if got := cl.Nodes[0].CPU.Cap(); got != 4 {
+		t.Errorf("CPU capacity %d, want 4 (2x dual-core Opteron)", got)
+	}
+}
+
+func TestCPUTimeOccupies(t *testing.T) {
+	eng := des.NewEngine()
+	cl := New(eng, DefaultConfig(1))
+	node := cl.Nodes[0]
+	var ends []des.Time
+	// Two 4-core jobs on a 4-core node must serialize.
+	for i := 0; i < 2; i++ {
+		eng.Spawn("job", func(p *des.Proc) {
+			node.CPUTime(p, 4, 10*des.Microsecond)
+			ends = append(ends, p.Now())
+		})
+	}
+	eng.Run()
+	if ends[1] != 20*des.Microsecond {
+		t.Errorf("second job finished at %v, want 20us", ends[1])
+	}
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	cfg := DefaultConfig(4)
+	cfg.GPUsPerNode = 9
+	New(des.NewEngine(), cfg)
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/des"
+)
+
+// Config controls one GPMR job's pipeline shape and the cluster it runs on.
+type Config struct {
+	// Name labels the job in traces.
+	Name string
+
+	// GPUs is the number of GPU processes (one per GPU, as in the paper).
+	GPUs int
+
+	// Cluster optionally overrides the machine; nil uses the paper's
+	// testbed shape via cluster.DefaultConfig(GPUs).
+	Cluster *cluster.Config
+
+	// VirtFactor is the virtual replication factor: each physical input
+	// element stands for VirtFactor elements at paper scale. 1 disables
+	// replication. See DESIGN.md.
+	VirtFactor int64
+
+	// ValBytes is the virtual size of one value in bytes (keys are 4).
+	ValBytes int64
+
+	// PipelineDepth is how many chunks may be in flight per GPU between
+	// the loader and the mapper (default 2: double buffering).
+	PipelineDepth int
+
+	// Accumulate keeps map output resident on the GPU across chunks; the
+	// mapper folds each chunk's emissions into ctx.Resident(). Mutually
+	// exclusive with a Combiner and a PartialReducer (the paper: "at most
+	// one can be used" of Accumulation and Partial Reduction).
+	Accumulate bool
+
+	// DisableSort skips the Sort stage (MM bypasses Sort and Reduce).
+	DisableSort bool
+
+	// GatherOutput sends every rank's final pairs to rank 0 and
+	// concatenates them into Result.Output (charged network time).
+	GatherOutput bool
+
+	// GPUDirect models the paper's future-work NIC-to-GPU path: Bin's
+	// device-to-host staging copies are skipped. Off by default.
+	GPUDirect bool
+
+	// Startup is the fixed per-job spin-up charged before any rank begins
+	// pulling chunks: CUDA context creation, MPI wire-up, and GPMR
+	// scheduler initialization. It is what erodes efficiency for small
+	// inputs at high GPU counts (the collapsing 1M-element curves of
+	// Figure 3). Zero means none; the benchmark apps use DefaultStartup.
+	Startup des.Time
+}
+
+// DefaultStartup is the per-job spin-up the benchmark applications charge,
+// calibrated to 2011-era CUDA context + MVAPICH2 job launch costs.
+const DefaultStartup = 15 * des.Millisecond
+
+// withDefaults validates and normalizes the configuration.
+func (c Config) withDefaults() (Config, error) {
+	if c.GPUs <= 0 {
+		return c, fmt.Errorf("core: config needs GPUs >= 1, got %d", c.GPUs)
+	}
+	if c.VirtFactor <= 0 {
+		c.VirtFactor = 1
+	}
+	if c.ValBytes <= 0 {
+		c.ValBytes = 4
+	}
+	if c.PipelineDepth <= 0 {
+		c.PipelineDepth = 2
+	}
+	if c.Cluster == nil {
+		cc := cluster.DefaultConfig(c.GPUs)
+		c.Cluster = &cc
+	}
+	if c.Cluster.GPUs != c.GPUs {
+		return c, fmt.Errorf("core: cluster config has %d GPUs, job wants %d", c.Cluster.GPUs, c.GPUs)
+	}
+	return c, nil
+}

@@ -1,0 +1,515 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cudpp"
+	"repro/internal/gpu"
+	"repro/internal/keyval"
+	"repro/internal/workload"
+)
+
+// --- A miniature integer-count application exercising every pipeline path ---
+
+type intChunk struct {
+	data []uint32
+	virt int64 // virtual bytes
+}
+
+func (c *intChunk) Elems() int       { return len(c.data) }
+func (c *intChunk) VirtBytes() int64 { return c.virt }
+
+func makeChunks(data []uint32, nChunks int, virtFactor int64) []Chunk {
+	offs := workload.SplitEven(len(data), nChunks)
+	chunks := make([]Chunk, nChunks)
+	for i := 0; i < nChunks; i++ {
+		part := data[offs[i]:offs[i+1]]
+		chunks[i] = &intChunk{data: part, virt: int64(len(part)) * 4 * virtFactor}
+	}
+	return chunks
+}
+
+// countMapper emits (k, 1) for every element.
+type countMapper struct{}
+
+func (countMapper) Map(ctx *MapContext[uint32], c Chunk) {
+	ic := c.(*intChunk)
+	virtN := int64(ic.Elems()) * ctx.VirtFactor
+	spec := gpu.KernelSpec{
+		Name:           "count.map",
+		Threads:        virtN / 2, // two elements per thread, as SIO does
+		FlopsPerThread: 4,
+		BytesRead:      float64(virtN * 4),
+		BytesWritten:   float64(virtN * 8),
+	}
+	ctx.Launch(spec, func() {
+		for _, k := range ic.data {
+			ctx.Emit(k, 1)
+		}
+	})
+	ctx.SetEmittedVirt(virtN)
+}
+
+// accumMapper folds counts into a GPU-resident dense table (Accumulation).
+type accumMapper struct{ keySpace int }
+
+func (m accumMapper) Map(ctx *MapContext[uint32], c Chunk) {
+	ic := c.(*intChunk)
+	res := ctx.Resident()
+	virtN := int64(ic.Elems()) * ctx.VirtFactor
+	spec := gpu.KernelSpec{
+		Name:           "count.accum",
+		Threads:        virtN,
+		FlopsPerThread: 2,
+		BytesRead:      float64(virtN * 4),
+		Atomics:        float64(virtN),
+		AtomicConflict: float64(virtN) / float64(m.keySpace),
+	}
+	ctx.Launch(spec, func() {
+		if res.Len() == 0 {
+			for k := 0; k < m.keySpace; k++ {
+				res.Append(uint32(k), 0)
+			}
+		}
+		for _, k := range ic.data {
+			res.Vals[int(k)%m.keySpace]++
+		}
+		res.Virt = int64(m.keySpace)
+	})
+}
+
+// localCombine is a PartialReducer merging like keys within one chunk.
+type localCombine struct{}
+
+func (localCombine) PartialReduce(ctx *MapContext[uint32], pairs *keyval.Pairs[uint32]) {
+	virtN := pairs.VirtLen()
+	spec := gpu.KernelSpec{
+		Name:           "count.partialreduce",
+		Threads:        virtN,
+		FlopsPerThread: 3,
+		BytesRead:      float64(virtN * 8),
+		BytesWritten:   float64(virtN * 2),
+	}
+	ctx.LaunchFor(spec.Cost(ctx.Dev.Props), func() {
+		sums := make(map[uint32]uint32, 64)
+		order := make([]uint32, 0, 64)
+		for i, k := range pairs.Keys {
+			if _, ok := sums[k]; !ok {
+				order = append(order, k)
+			}
+			sums[k] += pairs.Vals[i]
+		}
+		before := pairs.VirtLen()
+		frac := float64(len(order)) / float64(pairs.Len())
+		pairs.Reset()
+		for _, k := range order {
+			pairs.Append(k, sums[k])
+		}
+		pairs.Virt = int64(float64(before) * frac)
+	})
+}
+
+// sumCombiner merges all values per unique key once after all maps.
+type sumCombiner struct{}
+
+func (sumCombiner) Combine(ctx *MapContext[uint32], keys []uint32, segs []cudpp.Segment, vals []uint32) {
+	spec := gpu.KernelSpec{
+		Name:           "count.combine",
+		Threads:        int64(len(segs)),
+		FlopsPerThread: 4,
+		BytesRead:      float64(len(vals) * 4),
+		BytesWritten:   float64(len(segs) * 8),
+	}
+	ctx.Launch(spec, func() {
+		for _, s := range segs {
+			var sum uint32
+			for i := 0; i < s.Count; i++ {
+				sum += vals[s.Start+i]
+			}
+			ctx.Emit(s.Key, sum)
+		}
+	})
+	ctx.SetEmittedVirt(int64(len(segs)))
+}
+
+// sumReducer sums each key's values, one key per thread (the SIO reduce).
+type sumReducer struct{}
+
+func (sumReducer) ChunkValueSets(sets int, virtVals, free int64) int {
+	return FitAllChunking(sets, virtVals, free, 4)
+}
+
+func (sumReducer) Reduce(ctx *ReduceContext[uint32], keys []uint32, segs []cudpp.Segment, vals []uint32) {
+	var virtIn int64
+	for _, s := range segs {
+		virtIn += int64(s.Count)
+	}
+	spec := gpu.KernelSpec{
+		Name:             "count.reduce",
+		Threads:          int64(len(segs)),
+		FlopsPerThread:   float64(virtIn) / float64(len(segs)),
+		UncoalescedBytes: float64(virtIn * 4),
+		BytesWritten:     float64(len(segs) * 8),
+	}
+	ctx.Launch(spec, func() {
+		for _, s := range segs {
+			var sum uint32
+			for i := 0; i < s.Count; i++ {
+				sum += vals[s.Start+i]
+			}
+			ctx.Emit(s.Key, sum)
+		}
+	})
+	ctx.SetEmittedVirt(int64(len(segs)) * ctx.VirtFactor)
+}
+
+// referenceCounts is the sequential ground truth.
+func referenceCounts(data []uint32, keySpace int) map[uint32]uint32 {
+	ref := make(map[uint32]uint32)
+	for _, k := range data {
+		key := k
+		if keySpace > 0 {
+			key = k % uint32(keySpace)
+		}
+		ref[key]++
+	}
+	return ref
+}
+
+func checkCounts(t *testing.T, out *keyval.Pairs[uint32], ref map[uint32]uint32) {
+	t.Helper()
+	got := make(map[uint32]uint32, out.Len())
+	for i, k := range out.Keys {
+		got[k] += out.Vals[i]
+	}
+	if len(got) != len(ref) {
+		t.Errorf("output has %d distinct keys, want %d", len(got), len(ref))
+	}
+	for k, want := range ref {
+		if got[k] != want {
+			t.Errorf("key %d: count %d, want %d", k, got[k], want)
+			return
+		}
+	}
+}
+
+func smallData(n int, keySpace int) []uint32 {
+	rng := workload.NewRNG(99)
+	data := make([]uint32, n)
+	for i := range data {
+		data[i] = uint32(rng.Intn(keySpace))
+	}
+	return data
+}
+
+func countJob(data []uint32, gpus, nChunks int) *Job[uint32] {
+	return &Job[uint32]{
+		Config: Config{
+			Name:         "count",
+			GPUs:         gpus,
+			ValBytes:     4,
+			GatherOutput: true,
+		},
+		Chunks:      makeChunks(data, nChunks, 1),
+		Mapper:      countMapper{},
+		Partitioner: RoundRobin{},
+		Reducer:     sumReducer{},
+	}
+}
+
+func TestSingleGPUCorrectness(t *testing.T) {
+	data := smallData(10000, 500)
+	res := countJob(data, 1, 4).MustRun()
+	checkCounts(t, &res.Output, referenceCounts(data, 0))
+	if res.Trace.Wall <= 0 {
+		t.Error("zero wall time")
+	}
+}
+
+func TestMultiGPUCorrectness(t *testing.T) {
+	data := smallData(20000, 700)
+	for _, gpus := range []int{2, 4, 8} {
+		res := countJob(data, gpus, 16).MustRun()
+		checkCounts(t, &res.Output, referenceCounts(data, 0))
+	}
+}
+
+func TestMultiGPUSpeedsUp(t *testing.T) {
+	data := smallData(40000, 1000)
+	virt := int64(4096) // paper-scale virtual load so compute dominates
+	mk := func(gpus int) *Job[uint32] {
+		j := countJob(data, gpus, 32)
+		j.Config.VirtFactor = virt
+		for i, c := range j.Chunks {
+			ic := c.(*intChunk)
+			j.Chunks[i] = &intChunk{data: ic.data, virt: int64(len(ic.data)) * 4 * virt}
+		}
+		return j
+	}
+	t1 := mk(1).MustRun().Trace.Wall
+	t4 := mk(4).MustRun().Trace.Wall
+	if t4 >= t1 {
+		t.Errorf("4 GPUs (%v) not faster than 1 (%v)", t4, t1)
+	}
+	speedup := float64(t1) / float64(t4)
+	if speedup < 1.5 {
+		t.Errorf("4-GPU speedup %.2f too low", speedup)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	data := smallData(5000, 300)
+	a := countJob(data, 4, 8).MustRun()
+	b := countJob(data, 4, 8).MustRun()
+	if a.Trace.Wall != b.Trace.Wall {
+		t.Errorf("wall time differs: %v vs %v", a.Trace.Wall, b.Trace.Wall)
+	}
+	if a.Output.Len() != b.Output.Len() {
+		t.Fatalf("output size differs")
+	}
+	for i := range a.Output.Keys {
+		if a.Output.Keys[i] != b.Output.Keys[i] || a.Output.Vals[i] != b.Output.Vals[i] {
+			t.Fatalf("output diverges at %d", i)
+		}
+	}
+}
+
+func TestAccumulationPath(t *testing.T) {
+	const keySpace = 256
+	data := smallData(30000, keySpace)
+	j := &Job[uint32]{
+		Config: Config{
+			Name:         "count-accum",
+			GPUs:         4,
+			ValBytes:     4,
+			Accumulate:   true,
+			GatherOutput: true,
+		},
+		Chunks:      makeChunks(data, 8, 1),
+		Mapper:      accumMapper{keySpace: keySpace},
+		Partitioner: RoundRobin{},
+		Reducer:     sumReducer{},
+	}
+	res := j.MustRun()
+	checkCounts(t, &res.Output, referenceCounts(data, keySpace))
+}
+
+func TestAccumulationReducesTraffic(t *testing.T) {
+	const keySpace = 64
+	data := smallData(40000, keySpace)
+	plain := countJob(data, 4, 8).MustRun()
+	j := &Job[uint32]{
+		Config: Config{Name: "accum", GPUs: 4, ValBytes: 4, Accumulate: true, GatherOutput: true},
+		Chunks: makeChunks(data, 8, 1), Mapper: accumMapper{keySpace: keySpace},
+		Partitioner: RoundRobin{}, Reducer: sumReducer{},
+	}
+	accum := j.MustRun()
+	plainBytes := plain.Trace.WireBytes + plain.Trace.LocalBytes
+	accumBytes := accum.Trace.WireBytes + accum.Trace.LocalBytes
+	if accumBytes*4 > plainBytes {
+		t.Errorf("accumulation moved %d bytes, plain %d — expected >=4x reduction", accumBytes, plainBytes)
+	}
+}
+
+func TestPartialReducePath(t *testing.T) {
+	data := smallData(30000, 200) // many repeats per chunk
+	j := countJob(data, 4, 8)
+	j.PartialReducer = localCombine{}
+	res := j.MustRun()
+	checkCounts(t, &res.Output, referenceCounts(data, 0))
+
+	plain := countJob(data, 4, 8).MustRun()
+	if res.Trace.WireBytes+res.Trace.LocalBytes >= plain.Trace.WireBytes+plain.Trace.LocalBytes {
+		t.Error("partial reduction did not reduce transfer volume")
+	}
+}
+
+func TestCombinerPath(t *testing.T) {
+	data := smallData(20000, 300)
+	j := countJob(data, 4, 8)
+	j.Combiner = sumCombiner{}
+	res := j.MustRun()
+	checkCounts(t, &res.Output, referenceCounts(data, 0))
+}
+
+func TestCombinerReducesNetworkTraffic(t *testing.T) {
+	data := smallData(40000, 50) // tiny key space: combine collapses hard
+	plain := countJob(data, 8, 16).MustRun()
+	j := countJob(data, 8, 16)
+	j.Combiner = sumCombiner{}
+	comb := j.MustRun()
+	if comb.Trace.WireBytes >= plain.Trace.WireBytes {
+		t.Errorf("combine wire bytes %d >= plain %d", comb.Trace.WireBytes, plain.Trace.WireBytes)
+	}
+}
+
+func TestNilPartitionerSingleReducer(t *testing.T) {
+	data := smallData(8000, 100)
+	j := countJob(data, 4, 8)
+	j.Partitioner = nil
+	res := j.MustRun()
+	checkCounts(t, &res.Output, referenceCounts(data, 0))
+	// All reduction happened on rank 0.
+	for r := 1; r < 4; r++ {
+		if res.PerRank[r].Len() != 0 {
+			t.Errorf("rank %d produced %d pairs with nil partitioner", r, res.PerRank[r].Len())
+		}
+	}
+}
+
+func TestNoReducerPassthrough(t *testing.T) {
+	data := smallData(1000, 50)
+	j := countJob(data, 2, 4)
+	j.Reducer = nil
+	j.Config.GatherOutput = false
+	res := j.MustRun()
+	total := 0
+	for _, pr := range res.PerRank {
+		total += pr.Len()
+	}
+	if total != len(data) {
+		t.Errorf("passthrough kept %d pairs, want %d", total, len(data))
+	}
+}
+
+func TestDisableSortMMStyle(t *testing.T) {
+	data := smallData(1000, 50)
+	j := countJob(data, 2, 4)
+	j.Reducer = nil
+	j.Config.DisableSort = true
+	j.Config.GatherOutput = false
+	res := j.MustRun()
+	total := 0
+	for _, pr := range res.PerRank {
+		total += pr.Len()
+	}
+	if total != len(data) {
+		t.Errorf("got %d pairs, want %d", total, len(data))
+	}
+	b := res.Trace.Breakdown()
+	if b.Sort != 0 || b.Reduce != 0 {
+		t.Errorf("sort/reduce fractions nonzero with DisableSort: %+v", b)
+	}
+}
+
+func TestOutOfCoreSortSpills(t *testing.T) {
+	data := smallData(20000, 500)
+	j := countJob(data, 1, 8)
+	// Paper scale: 128M virtual elements on one GPU → 1 GB of pairs; with
+	// sort scratch that exceeds the 1 GB device and must spill.
+	virt := int64(128<<20) / int64(len(data))
+	j.Config.VirtFactor = virt
+	for i, c := range j.Chunks {
+		ic := c.(*intChunk)
+		j.Chunks[i] = &intChunk{data: ic.data, virt: int64(len(ic.data)) * 4 * virt}
+	}
+	res := j.MustRun()
+	checkCounts(t, &res.Output, referenceCounts(data, 0))
+	if !res.Trace.Ranks[0].OutOfCore {
+		t.Error("expected out-of-core sort at this scale")
+	}
+
+	// The same virtual data on 8 GPUs fits per-GPU memory: no spill.
+	j8 := countJob(data, 8, 8)
+	j8.Config.VirtFactor = virt
+	for i, c := range j8.Chunks {
+		ic := c.(*intChunk)
+		j8.Chunks[i] = &intChunk{data: ic.data, virt: int64(len(ic.data)) * 4 * virt}
+	}
+	res8 := j8.MustRun()
+	for r, tr := range res8.Trace.Ranks {
+		if tr.OutOfCore {
+			t.Errorf("rank %d spilled on 8 GPUs", r)
+		}
+	}
+}
+
+func TestLoadBalancingShiftsChunks(t *testing.T) {
+	data := smallData(20000, 500)
+	j := countJob(data, 4, 16)
+	j.Assign = func(int) int { return 0 } // all chunks start on rank 0
+	res := j.MustRun()
+	checkCounts(t, &res.Output, referenceCounts(data, 0))
+	stolen := 0
+	for r := 1; r < 4; r++ {
+		stolen += res.Trace.Ranks[r].ChunksStolen
+	}
+	if stolen == 0 {
+		t.Error("no chunks shifted despite fully imbalanced initial queues")
+	}
+	mapped := 0
+	for _, tr := range res.Trace.Ranks {
+		mapped += tr.ChunksMapped
+	}
+	if mapped != 16 {
+		t.Errorf("mapped %d chunks, want 16", mapped)
+	}
+}
+
+func TestBreakdownSumsToOne(t *testing.T) {
+	data := smallData(10000, 300)
+	res := countJob(data, 4, 8).MustRun()
+	b := res.Trace.Breakdown()
+	sum := b.Map + b.CompleteBinning + b.Sort + b.Reduce + b.Internal
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("breakdown sums to %f: %+v", sum, b)
+	}
+	if b.Map <= 0 {
+		t.Error("map fraction should be positive")
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	data := smallData(100, 10)
+	cases := []struct {
+		name string
+		mut  func(*Job[uint32])
+	}{
+		{"no mapper", func(j *Job[uint32]) { j.Mapper = nil }},
+		{"no chunks", func(j *Job[uint32]) { j.Chunks = nil }},
+		{"accumulate+combiner", func(j *Job[uint32]) { j.Config.Accumulate = true; j.Combiner = sumCombiner{} }},
+		{"disablesort+reducer", func(j *Job[uint32]) { j.Config.DisableSort = true }},
+	}
+	for _, c := range cases {
+		j := countJob(data, 1, 2)
+		c.mut(j)
+		if _, err := j.Run(); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+	j := countJob(data, 0, 2)
+	if _, err := j.Run(); err == nil {
+		t.Error("zero GPUs: expected error")
+	}
+}
+
+func TestVirtFactorScalesTime(t *testing.T) {
+	data := smallData(5000, 200)
+	mk := func(virt int64) *Job[uint32] {
+		j := countJob(data, 1, 4)
+		j.Config.VirtFactor = virt
+		for i, c := range j.Chunks {
+			ic := c.(*intChunk)
+			j.Chunks[i] = &intChunk{data: ic.data, virt: int64(len(ic.data)) * 4 * virt}
+		}
+		return j
+	}
+	t1 := mk(1).MustRun().Trace.Wall
+	t1k := mk(1024).MustRun().Trace.Wall
+	// At factor 1 fixed overheads dominate; at 1024 the virtual work must.
+	if t1k < t1*20 {
+		t.Errorf("1024x virtual load only scaled time %v -> %v", t1, t1k)
+	}
+}
+
+func TestGPUDirectReducesWall(t *testing.T) {
+	data := smallData(30000, 1000)
+	j := countJob(data, 4, 8)
+	base := j.MustRun().Trace.Wall
+	jd := countJob(data, 4, 8)
+	jd.Config.GPUDirect = true
+	direct := jd.MustRun().Trace.Wall
+	if direct > base {
+		t.Errorf("GPUDirect slower (%v) than baseline (%v)", direct, base)
+	}
+}

@@ -1,0 +1,139 @@
+// Package core implements GPMR, the paper's multi-GPU MapReduce pipeline:
+// chunked Maps with optional Accumulation, Partial Reduction, and
+// Combination; GPU partitioning; a CPU-side Bin substage that overlaps
+// network communication with mapping; a CUDPP-based Sort stage; a chunked
+// Reduce stage driven by a value-set callback; and a dynamic per-GPU work
+// queue with chunk shifting for load balance.
+//
+// One simulated process drives each GPU, as in the paper. All stages and
+// substages are customizable; defaults are provided for the Partitioner and
+// Sorter. The pipeline runs on the simulated cluster from
+// internal/cluster — see DESIGN.md for the hardware substitution argument.
+package core
+
+import (
+	"repro/internal/cudpp"
+	"repro/internal/des"
+	"repro/internal/gpu"
+	"repro/internal/keyval"
+)
+
+// Chunk is one indivisible unit of map work. GPMR streams chunks to GPUs
+// one at a time, assuming a chunk and its output consume a large fraction
+// of GPU memory; chunks must be movable between queues for load balancing
+// (in the simulation, moves charge fabric transfer time for VirtBytes).
+type Chunk interface {
+	// Elems is the number of physical items the chunk holds.
+	Elems() int
+	// VirtBytes is the chunk's size at paper scale: what the H2D copy,
+	// device allocation, and any load-balancing move are charged for.
+	VirtBytes() int64
+}
+
+// Mapper is the user's map stage. Map processes one resident chunk: it
+// launches kernels through ctx (charging the simulated GPU) and emits
+// key–value pairs with ctx.Emit, or folds them into ctx.Resident() when the
+// job uses Accumulation.
+type Mapper[V any] interface {
+	Map(ctx *MapContext[V], c Chunk)
+}
+
+// PartialReducer reduces like-keyed pairs still resident on the GPU after
+// each chunk's map, before they are transferred — the CellMR-style substage
+// that trades GPU compute for PCIe and network traffic. It must rewrite
+// ctx's emitted pairs in place (fewer pairs, same key set semantics) and
+// charge its kernels through ctx.
+type PartialReducer[V any] interface {
+	PartialReduce(ctx *MapContext[V], pairs *keyval.Pairs[V])
+}
+
+// Combiner merges all values of one unique key into a single pair, executed
+// once after all Maps complete (unlike Hadoop's per-map combine) to
+// minimize network traffic at the cost of staging pairs through CPU memory
+// and back across PCIe. Combine receives sorted, grouped pairs and emits
+// one pair per key through ctx.
+type Combiner[V any] interface {
+	Combine(ctx *MapContext[V], keys []uint32, segs []cudpp.Segment, vals []V)
+}
+
+// Partitioner assigns each key a destination reduce rank. It runs as a GPU
+// kernel whose cost the framework charges; implementations only supply the
+// (pure) placement function. A nil Partitioner sends every pair to rank 0,
+// which the paper recommends for jobs with small intermediate data.
+type Partitioner interface {
+	Rank(key uint32, nRanks int) int
+}
+
+// RoundRobin is GPMR's default partitioner for integer keys.
+type RoundRobin struct{}
+
+// Rank implements Partitioner as key mod nRanks.
+func (RoundRobin) Rank(key uint32, nRanks int) int { return int(key % uint32(nRanks)) }
+
+// BlockPartitioner assigns consecutive key blocks to consecutive ranks
+// (the paper's "consecutive blocks" alternative); Span is the total key
+// range.
+type BlockPartitioner struct{ Span uint32 }
+
+// Rank implements Partitioner.
+func (b BlockPartitioner) Rank(key uint32, nRanks int) int {
+	if b.Span == 0 {
+		return 0
+	}
+	r := int(uint64(key) * uint64(nRanks) / uint64(b.Span))
+	if r >= nRanks {
+		r = nRanks - 1
+	}
+	return r
+}
+
+// Sorter customizes the Sort stage's cost model. The functional result is
+// always an ascending stable key sort; custom sorters model non-radix
+// strategies (e.g. comparison sorts for keys that are not integer-like).
+type Sorter interface {
+	// SortCost returns the device time to sort virtN pairs with valBytes
+	// values on a device with properties pr.
+	SortCost(pr gpu.Props, virtN, valBytes int64) des.Time
+}
+
+// RadixSorter is GPMR's default Sorter (CUDPP radix sort).
+type RadixSorter struct{}
+
+// SortCost implements Sorter with the CUDPP radix model.
+func (RadixSorter) SortCost(pr gpu.Props, virtN, valBytes int64) des.Time {
+	return cudpp.SortPairsCost(pr, virtN, valBytes)
+}
+
+// Reducer is the user's reduce stage. GPMR asks ChunkValueSets how many
+// value-sets to stage for the next reduce chunk (the paper's callback),
+// then calls Reduce with those sets; Reduce launches kernels and emits
+// final pairs through ctx.
+type Reducer[V any] interface {
+	// ChunkValueSets returns how many of the remaining value-sets to copy
+	// to the GPU for the next reduction, given the remaining set count,
+	// the remaining virtual value count, and free device bytes. Returns
+	// are clamped to [1, sets].
+	ChunkValueSets(sets int, virtVals int64, freeBytes int64) int
+	Reduce(ctx *ReduceContext[V], keys []uint32, segs []cudpp.Segment, vals []V)
+}
+
+// FitAllChunking is a ChunkValueSets helper: take everything if it fits,
+// otherwise the largest memory-sized prefix (by average set size).
+func FitAllChunking(sets int, virtVals int64, freeBytes int64, valBytes int64) int {
+	if sets <= 0 {
+		return 1
+	}
+	need := virtVals * (4 + valBytes) * 2 // pairs + working space
+	if need <= freeBytes {
+		return sets
+	}
+	frac := float64(freeBytes) / float64(need)
+	n := int(frac * float64(sets))
+	if n < 1 {
+		n = 1
+	}
+	if n > sets {
+		n = sets
+	}
+	return n
+}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/des"
+	"repro/internal/keyval"
+)
+
+// Job describes one GPMR run: input chunks plus the user's pipeline pieces.
+// Mapper is required; everything else is optional with the paper's
+// defaults (RoundRobin partitioning is NOT default — a nil Partitioner
+// routes all pairs to rank 0, matching GPMR's "omit Partition" behaviour).
+type Job[V any] struct {
+	Config Config
+	Chunks []Chunk
+
+	// Assign optionally overrides the initial round-robin chunk placement
+	// (chunk index → rank).
+	Assign func(chunk int) int
+
+	Mapper         Mapper[V]
+	PartialReducer PartialReducer[V]
+	Combiner       Combiner[V]
+	Partitioner    Partitioner
+	Sorter         Sorter
+	Reducer        Reducer[V]
+}
+
+// Result is a completed job's output.
+type Result[V any] struct {
+	// Output is the gathered final pairs at rank 0 (rank order), when
+	// Config.GatherOutput is set.
+	Output keyval.Pairs[V]
+	// PerRank holds each rank's final pairs (reduce output, or the
+	// post-shuffle pairs when the job has no Reducer).
+	PerRank []keyval.Pairs[V]
+	Trace   *Trace
+}
+
+// Validate checks the job's pipeline configuration without running it.
+func (j *Job[V]) Validate() error {
+	if j.Mapper == nil {
+		return errors.New("core: job needs a Mapper")
+	}
+	if len(j.Chunks) == 0 {
+		return errors.New("core: job needs at least one chunk")
+	}
+	if j.Config.Accumulate && (j.Combiner != nil || j.PartialReducer != nil) {
+		return errors.New("core: Accumulation excludes Combiner and PartialReducer")
+	}
+	if j.Config.DisableSort && (j.Reducer != nil || j.Combiner != nil) {
+		return errors.New("core: DisableSort requires no Reducer and no Combiner")
+	}
+	return nil
+}
+
+// Run executes the job on a freshly built simulated cluster and returns the
+// result with its timing trace.
+func (j *Job[V]) Run() (*Result[V], error) {
+	if err := j.Validate(); err != nil {
+		return nil, err
+	}
+	cfg, err := j.Config.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	eng := des.NewEngine()
+	cl := cluster.New(eng, *cfg.Cluster)
+	rt := &runtime[V]{
+		job:    j,
+		cfg:    cfg,
+		cl:     cl,
+		sched:  newScheduler(j.Chunks, cfg.GPUs, cl.Fabric, j.Assign),
+		traces: make([]RankTrace, cfg.GPUs),
+		outs:   make([]keyval.Pairs[V], cfg.GPUs),
+		gather: make([]*keyval.Pairs[V], cfg.GPUs),
+	}
+	if j.Sorter == nil {
+		rt.sorter = RadixSorter{}
+	} else {
+		rt.sorter = j.Sorter
+	}
+	for r := 0; r < cfg.GPUs; r++ {
+		rt.spawnRank(eng, r)
+	}
+	wall := eng.Run()
+
+	res := &Result[V]{
+		PerRank: rt.outs,
+		Trace: &Trace{
+			Name:       cfg.Name,
+			GPUs:       cfg.GPUs,
+			Wall:       wall,
+			Ranks:      rt.traces,
+			WireBytes:  cl.Fabric.BytesSent,
+			LocalBytes: cl.Fabric.LocalBytes,
+		},
+	}
+	if cfg.GatherOutput {
+		for r := 0; r < cfg.GPUs; r++ {
+			var pr *keyval.Pairs[V]
+			if r == 0 {
+				pr = &rt.outs[0]
+			} else {
+				pr = rt.gather[r]
+			}
+			if pr != nil {
+				res.Output.AppendPairs(pr)
+			}
+		}
+	}
+	return res, nil
+}
+
+// MustRun is Run for tests and examples where errors are fatal bugs.
+func (j *Job[V]) MustRun() *Result[V] {
+	res, err := j.Run()
+	if err != nil {
+		panic(fmt.Sprintf("core: job %q: %v", j.Config.Name, err))
+	}
+	return res
+}
+
+// runtime holds one execution's shared state.
+type runtime[V any] struct {
+	job    *Job[V]
+	cfg    Config
+	cl     *cluster.Cluster
+	sched  *scheduler
+	sorter Sorter
+	traces []RankTrace
+	outs   []keyval.Pairs[V]
+	gather []*keyval.Pairs[V] // rank 0's gathered outputs, by source rank
+}

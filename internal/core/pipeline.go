@@ -1,0 +1,507 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cudpp"
+	"repro/internal/des"
+	"repro/internal/gpu"
+	"repro/internal/keyval"
+)
+
+// Message tags on the fabric.
+const (
+	tagPairs = "pairs"
+	tagEnd   = "end"
+	tagOut   = "out"
+)
+
+// endMsgBytes is the virtual size of an end-of-stream control message.
+const endMsgBytes = 64
+
+// binKind discriminates messages from the map process to the bin process.
+type binKind int
+
+const (
+	binBuckets  binKind = iota // partitioned pairs: D2H, stage, send
+	binToHost                  // combine staging: D2H into host memory
+	binEndMaps                 // all maps complete (fires combine phase)
+	binFinalEnd                // no more data: broadcast end markers
+)
+
+type binMsg[V any] struct {
+	kind      binKind
+	buckets   []keyval.Pairs[V]
+	buf       *gpu.Buffer // device emit buffer to release after D2H
+	virtBytes int64       // D2H transfer size
+	pairs     *keyval.Pairs[V]
+}
+
+type loadedChunk struct {
+	chunk Chunk
+	buf   *gpu.Buffer
+}
+
+// rankState wires one GPU process's sub-processes together.
+type rankState[V any] struct {
+	rt   *runtime[V]
+	rank int
+	dev  *gpu.Device
+	tr   *RankTrace
+
+	loadedQ      *des.Queue
+	binQ         *des.Queue
+	slots        *des.Resource
+	emitSlots    *des.Resource // bounds device emit buffers awaiting D2H
+	mctx         *MapContext[V]
+	hostCombine  keyval.Pairs[V]
+	combineReady *des.Signal
+
+	shuffle  keyval.Pairs[V]
+	earlyOut []*keyval.Pairs[V]
+	sortedIn bool // sorted pairs resident on device (in-core path)
+	devPairs *gpu.Buffer
+}
+
+func (rt *runtime[V]) spawnRank(eng *des.Engine, rank int) {
+	st := &rankState[V]{
+		rt:        rt,
+		rank:      rank,
+		dev:       rt.cl.GPUs[rank],
+		tr:        &rt.traces[rank],
+		loadedQ:   des.NewQueue(eng, fmt.Sprintf("r%d.loaded", rank)),
+		binQ:      des.NewQueue(eng, fmt.Sprintf("r%d.bin", rank)),
+		slots:     des.NewResource(eng, fmt.Sprintf("r%d.slots", rank), rt.cfg.PipelineDepth),
+		emitSlots: des.NewResource(eng, fmt.Sprintf("r%d.emitslots", rank), rt.cfg.PipelineDepth),
+	}
+	st.mctx = &MapContext[V]{
+		Rank:       rank,
+		NumRanks:   rt.cfg.GPUs,
+		Dev:        st.dev,
+		VirtFactor: rt.cfg.VirtFactor,
+	}
+	if rt.job.Combiner != nil {
+		st.combineReady = des.NewSignal(eng)
+	}
+	eng.Spawn(fmt.Sprintf("r%d.loader", rank), st.loaderProc)
+	eng.Spawn(fmt.Sprintf("r%d.map", rank), st.mapProc)
+	eng.Spawn(fmt.Sprintf("r%d.bin", rank), st.binProc)
+	eng.Spawn(fmt.Sprintf("r%d.reduce", rank), st.reduceProc)
+}
+
+// loaderProc streams chunks onto the GPU, overlapping the H2D copy of the
+// next chunk with the map of the current one (bounded by PipelineDepth).
+func (st *rankState[V]) loaderProc(p *des.Proc) {
+	if st.rt.cfg.Startup > 0 {
+		p.Sleep(st.rt.cfg.Startup)
+	}
+	for {
+		chunk, stolenFrom, ok := st.rt.sched.next(p, st.rank)
+		if !ok {
+			st.loadedQ.Put(loadedChunk{})
+			return
+		}
+		if stolenFrom >= 0 {
+			st.tr.ChunksStolen++
+			st.tr.StolenBytes += chunk.VirtBytes()
+		}
+		st.slots.Acquire(p, 1)
+		buf := st.dev.MustAlloc("chunk", chunk.VirtBytes(), nil)
+		st.dev.CopyToDevice(p, chunk.VirtBytes(), nil)
+		st.loadedQ.Put(loadedChunk{chunk: chunk, buf: buf})
+	}
+}
+
+// mapProc runs the Map substages for each chunk, then the Accumulation or
+// Combination tail, and finally tells the bin process to flush.
+func (st *rankState[V]) mapProc(p *des.Proc) {
+	rt := st.rt
+	st.mctx.Proc = p
+	for {
+		item := st.loadedQ.Get(p).(loadedChunk)
+		if item.chunk == nil {
+			break
+		}
+		st.mctx.out.Reset()
+		rt.job.Mapper.Map(st.mctx, item.chunk)
+		st.tr.ChunksMapped++
+		if rt.job.PartialReducer != nil {
+			rt.job.PartialReducer.PartialReduce(st.mctx, &st.mctx.out)
+		}
+		item.buf.Free()
+		st.slots.Release(1)
+		if rt.cfg.Accumulate {
+			if st.mctx.out.Len() != 0 {
+				panic("core: Accumulate job emitted pairs; fold into Resident() instead")
+			}
+			continue
+		}
+		out := st.takeEmitted()
+		if rt.job.Combiner != nil {
+			st.stageToHost(p, out)
+			continue
+		}
+		st.partitionAndBin(p, out)
+	}
+
+	if rt.cfg.Accumulate {
+		res := st.mctx.resident
+		st.mctx.resident = keyval.Pairs[V]{}
+		st.tr.PairsEmitted += res.VirtLen()
+		st.partitionAndBin(p, res)
+	}
+	if rt.job.Combiner != nil {
+		st.binQ.Put(binMsg[V]{kind: binEndMaps})
+		st.combineReady.Wait(p)
+		st.combineTail(p)
+	}
+	st.tr.MapDone = p.Now()
+	st.binQ.Put(binMsg[V]{kind: binFinalEnd})
+}
+
+// takeEmitted moves the context's emission buffer out, counting it.
+func (st *rankState[V]) takeEmitted() keyval.Pairs[V] {
+	out := st.mctx.out
+	st.mctx.out = keyval.Pairs[V]{}
+	st.tr.PairsEmitted += out.VirtLen()
+	return out
+}
+
+// stageToHost queues one chunk's pairs for D2H staging into host memory
+// (the Combiner path: pairs wait in CPU memory until all maps finish).
+func (st *rankState[V]) stageToHost(p *des.Proc, out keyval.Pairs[V]) {
+	vb := out.VirtBytes(st.rt.cfg.ValBytes)
+	st.emitSlots.Acquire(p, 1)
+	buf := st.dev.MustAlloc("emit", vb, nil)
+	pr := out
+	st.binQ.Put(binMsg[V]{kind: binToHost, buf: buf, virtBytes: vb, pairs: &pr})
+}
+
+// partitionAndBin runs the Partition substage on the GPU and hands the
+// buckets to the bin process.
+func (st *rankState[V]) partitionAndBin(p *des.Proc, out keyval.Pairs[V]) {
+	rt := st.rt
+	n := rt.cfg.GPUs
+	vb := out.VirtBytes(rt.cfg.ValBytes)
+	var buckets []keyval.Pairs[V]
+	if rt.job.Partitioner == nil || n == 1 {
+		// Omitted Partition: all pairs to a single reducer, no kernel.
+		buckets = make([]keyval.Pairs[V], n)
+		buckets[0] = out
+	} else {
+		part := rt.job.Partitioner
+		// The partition kernel's parallelism tracks the bytes it moves
+		// (large values are scattered by many threads), not the pair count.
+		threads := out.VirtLen()
+		if minT := vb / 64; threads < minT {
+			threads = minT
+		}
+		spec := gpu.KernelSpec{
+			Name:             "gpmr.partition",
+			Threads:          threads,
+			FlopsPerThread:   4,
+			BytesRead:        float64(vb),
+			BytesWritten:     float64(vb) / 2,
+			UncoalescedBytes: float64(vb) / 2, // bucket scatter
+		}
+		st.dev.Launch(p, spec, func() {
+			buckets = out.Bucket(n, func(k uint32) int { return part.Rank(k, n) })
+		})
+	}
+	if out.Len() == 0 && out.VirtLen() == 0 {
+		st.binQ.Put(binMsg[V]{kind: binBuckets, buckets: buckets, virtBytes: 0})
+		return
+	}
+	st.emitSlots.Acquire(p, 1)
+	buf := st.dev.MustAlloc("emit", vb, nil)
+	st.binQ.Put(binMsg[V]{kind: binBuckets, buckets: buckets, buf: buf, virtBytes: vb})
+}
+
+// combineTail streams the host-staged pairs back through the GPU in
+// in-core pieces, sorts and groups each piece, runs the Combiner, and
+// partitions the combined output (executed once, after all maps — the
+// GPMR Combine semantics).
+func (st *rankState[V]) combineTail(p *des.Proc) {
+	rt := st.rt
+	all := st.hostCombine
+	st.hostCombine = keyval.Pairs[V]{}
+	if all.Len() == 0 {
+		return
+	}
+	valBytes := rt.cfg.ValBytes
+	totalVirt := all.VirtLen()
+	// Piece size: half of free memory leaves room for sort scratch.
+	pieceVirtBytes := st.dev.MemFree() / 4
+	pairVirtBytes := 4 + valBytes
+	pieceVirtPairs := pieceVirtBytes / pairVirtBytes
+	if pieceVirtPairs < 1 {
+		pieceVirtPairs = 1
+	}
+	pieces := int((totalVirt + pieceVirtPairs - 1) / pieceVirtPairs)
+	if pieces < 1 {
+		pieces = 1
+	}
+	physPer := (all.Len() + pieces - 1) / pieces
+	if physPer < 1 {
+		physPer = 1
+	}
+	for start := 0; start < all.Len(); start += physPer {
+		end := start + physPer
+		if end > all.Len() {
+			end = all.Len()
+		}
+		piece := keyval.Pairs[V]{
+			Keys: all.Keys[start:end],
+			Vals: all.Vals[start:end],
+			Virt: totalVirt * int64(end-start) / int64(all.Len()),
+		}
+		vb := piece.VirtBytes(valBytes)
+		buf := st.dev.MustAlloc("combine", vb*2, nil) // data + sort scratch
+		st.dev.CopyToDevice(p, vb, nil)
+		st.dev.LaunchFor(p, rt.sorter.SortCost(st.dev.Props, piece.VirtLen(), valBytes), func() {
+			cudpp.SortPairs(piece.Keys, piece.Vals)
+		})
+		var segs []cudpp.Segment
+		st.dev.LaunchFor(p, cudpp.SegmentsCost(st.dev.Props, piece.VirtLen()), func() {
+			segs = cudpp.Segments(piece.Keys)
+		})
+		st.mctx.out.Reset()
+		rt.job.Combiner.Combine(st.mctx, piece.Keys, segs, piece.Vals)
+		out := st.takeEmitted()
+		buf.Free()
+		st.partitionAndBin(p, out)
+	}
+}
+
+// binProc is the CPU-side Bin substage: it drains device emit buffers over
+// PCIe, stages them with a CPU core, and transmits each reducer's bucket
+// with one send — all overlapped with the map process unless the job uses
+// Accumulation or a Combiner.
+func (st *rankState[V]) binProc(p *des.Proc) {
+	rt := st.rt
+	node := rt.cl.NodeOfRank(st.rank)
+	valBytes := rt.cfg.ValBytes
+	for {
+		msg := st.binQ.Get(p).(binMsg[V])
+		switch msg.kind {
+		case binToHost:
+			st.dev.CopyToHost(p, msg.virtBytes, nil)
+			msg.buf.Free()
+			st.emitSlots.Release(1)
+			st.hostCombine.AppendPairs(msg.pairs)
+		case binBuckets:
+			if msg.buf != nil {
+				if !rt.cfg.GPUDirect {
+					st.dev.CopyToHost(p, msg.virtBytes, nil)
+				}
+				msg.buf.Free()
+				st.emitSlots.Release(1)
+			}
+			for dst := range msg.buckets {
+				b := &msg.buckets[dst]
+				if b.Len() == 0 && b.VirtLen() == 0 {
+					continue
+				}
+				bb := b.VirtBytes(valBytes)
+				if !rt.cfg.GPUDirect {
+					node.CPUTime(p, 1, des.FromSeconds(float64(bb)/node.Props.MemcpyPerCore))
+				}
+				payload := *b
+				rt.cl.Fabric.Send(p, st.rank, dst, tagPairs, bb, &payload)
+			}
+		case binEndMaps:
+			if st.combineReady != nil {
+				st.combineReady.Fire()
+			}
+		case binFinalEnd:
+			for dst := 0; dst < rt.cfg.GPUs; dst++ {
+				rt.cl.Fabric.Send(p, st.rank, dst, tagEnd, endMsgBytes, nil)
+			}
+			return
+		}
+	}
+}
+
+// reduceProc receives this rank's shuffle partition, runs Sort (in-core on
+// the GPU when it fits, external with host merge when it does not), then
+// the chunked Reduce, and finally participates in the output gather.
+func (st *rankState[V]) reduceProc(p *des.Proc) {
+	rt := st.rt
+	n := rt.cfg.GPUs
+	ends := 0
+	for ends < n {
+		msg := rt.cl.Fabric.Recv(p, st.rank)
+		switch msg.Tag {
+		case tagPairs:
+			st.shuffle.AppendPairs(msg.Payload.(*keyval.Pairs[V]))
+		case tagEnd:
+			ends++
+		case tagOut:
+			st.earlyOut = append(st.earlyOut, msg.Payload.(*keyval.Pairs[V]))
+			rt.gather[msg.From] = msg.Payload.(*keyval.Pairs[V])
+		}
+	}
+	st.tr.ShuffleDone = p.Now()
+
+	if rt.cfg.DisableSort {
+		rt.outs[st.rank] = st.shuffle
+		st.tr.SortDone = p.Now()
+		st.tr.ReduceDone = p.Now()
+		st.gatherPhase(p)
+		return
+	}
+
+	segs := st.sortStage(p)
+	st.tr.SortDone = p.Now()
+	st.reduceStage(p, segs)
+	st.tr.ReduceDone = p.Now()
+	if st.devPairs != nil {
+		st.devPairs.Free()
+		st.devPairs = nil
+	}
+	st.gatherPhase(p)
+}
+
+// sortStage sorts the received pairs. In-core: one H2D, device radix sort,
+// segment extraction — the data stays resident for Reduce. Out-of-core:
+// device-sorted runs are staged back to the host and merged there with a
+// CPU core, and Reduce later re-uploads each chunk (this extra PCIe
+// traffic is what the paper's in-core crossover buys back).
+func (st *rankState[V]) sortStage(p *des.Proc) []cudpp.Segment {
+	rt := st.rt
+	valBytes := rt.cfg.ValBytes
+	virtN := st.shuffle.VirtLen()
+	if st.shuffle.Len() == 0 {
+		return nil
+	}
+	bytes := st.shuffle.VirtBytes(valBytes)
+	node := rt.cl.NodeOfRank(st.rank)
+	if 2*bytes <= st.dev.MemFree() {
+		st.devPairs = st.dev.MustAlloc("sorted", 2*bytes, nil)
+		st.dev.CopyToDevice(p, bytes, nil)
+		st.dev.LaunchFor(p, rt.sorter.SortCost(st.dev.Props, virtN, valBytes), func() {
+			cudpp.SortPairs(st.shuffle.Keys, st.shuffle.Vals)
+		})
+		var segs []cudpp.Segment
+		st.dev.LaunchFor(p, cudpp.SegmentsCost(st.dev.Props, virtN), func() {
+			segs = cudpp.Segments(st.shuffle.Keys)
+		})
+		st.sortedIn = true
+		return segs
+	}
+
+	// External sort: split into in-core runs. Runs target a quarter of
+	// free memory so that a run plus its sort scratch always fits even
+	// after the integer rounding of the physical/virtual split.
+	st.tr.OutOfCore = true
+	runBytes := st.dev.MemFree() / 4
+	if runBytes < 1 {
+		runBytes = 1
+	}
+	runs := int((bytes + runBytes - 1) / runBytes)
+	if runs < 2 {
+		runs = 2
+	}
+	physPer := (st.shuffle.Len() + runs - 1) / runs
+	for start := 0; start < st.shuffle.Len(); start += physPer {
+		end := start + physPer
+		if end > st.shuffle.Len() {
+			end = st.shuffle.Len()
+		}
+		runVirt := virtN * int64(end-start) / int64(st.shuffle.Len())
+		rb := runVirt * (4 + valBytes)
+		buf := st.dev.MustAlloc("sortrun", rb*2, nil)
+		st.dev.CopyToDevice(p, rb, nil)
+		st.dev.LaunchFor(p, rt.sorter.SortCost(st.dev.Props, runVirt, valBytes), nil)
+		st.dev.CopyToHost(p, rb, nil)
+		buf.Free()
+	}
+	// Host k-way merge: one CPU core streams all pairs in and out once.
+	node.CPUTime(p, 1, des.FromSeconds(2*float64(bytes)/node.Props.HostMemBW))
+	var segs []cudpp.Segment
+	cudpp.SortPairs(st.shuffle.Keys, st.shuffle.Vals) // functional equivalent of run-merge
+	segs = cudpp.Segments(st.shuffle.Keys)
+	st.sortedIn = false
+	return segs
+}
+
+// reduceStage runs the user's Reducer over the sorted pairs in value-set
+// chunks sized by the ChunkValueSets callback.
+func (st *rankState[V]) reduceStage(p *des.Proc, segs []cudpp.Segment) {
+	rt := st.rt
+	if rt.job.Reducer == nil {
+		rt.outs[st.rank] = st.shuffle
+		return
+	}
+	if len(segs) == 0 {
+		return
+	}
+	valBytes := rt.cfg.ValBytes
+	virtN := st.shuffle.VirtLen()
+	totalPhys := st.shuffle.Len()
+	rctx := &ReduceContext[V]{
+		Rank:       st.rank,
+		NumRanks:   rt.cfg.GPUs,
+		Dev:        st.dev,
+		Proc:       p,
+		VirtFactor: rt.cfg.VirtFactor,
+	}
+	idx := 0
+	for idx < len(segs) {
+		rem := segs[idx:]
+		physRem := totalPhys - segs[idx].Start
+		virtRem := virtN * int64(physRem) / int64(totalPhys)
+		take := rt.job.Reducer.ChunkValueSets(len(rem), virtRem, st.dev.MemFree())
+		if take < 1 {
+			take = 1
+		}
+		if take > len(rem) {
+			take = len(rem)
+		}
+		chunkSegs := rem[:take]
+		last := chunkSegs[take-1]
+		physPairs := last.Start + last.Count - chunkSegs[0].Start
+		virtShare := virtN * int64(physPairs) / int64(totalPhys)
+		if !st.sortedIn {
+			// Out-of-core: stage this chunk's value sets onto the GPU.
+			st.dev.CopyToDevice(p, virtShare*(4+valBytes), nil)
+		}
+		rctx.out.Reset()
+		rt.job.Reducer.Reduce(rctx, st.shuffle.Keys, chunkSegs, st.shuffle.Vals)
+		out := rctx.out
+		rctx.out = keyval.Pairs[V]{}
+		st.tr.PairsReduced += virtShare
+		if out.Len() > 0 || out.VirtLen() > 0 {
+			st.dev.CopyToHost(p, out.VirtBytes(valBytes), nil)
+			rt.outs[st.rank].AppendPairs(&out)
+		}
+		idx += take
+	}
+}
+
+// gatherPhase ships every rank's output to rank 0 when configured.
+func (st *rankState[V]) gatherPhase(p *des.Proc) {
+	rt := st.rt
+	if !rt.cfg.GatherOutput || rt.cfg.GPUs == 1 {
+		return
+	}
+	if st.rank != 0 {
+		out := rt.outs[st.rank]
+		rt.cl.Fabric.Send(p, st.rank, 0, tagOut, out.VirtBytes(rt.cfg.ValBytes), &out)
+		return
+	}
+	have := 0
+	for _, g := range rt.gather {
+		if g != nil {
+			have++
+		}
+	}
+	for have < rt.cfg.GPUs-1 {
+		msg := rt.cl.Fabric.Recv(p, 0)
+		if msg.Tag != tagOut {
+			panic("core: unexpected message during gather: " + msg.Tag)
+		}
+		rt.gather[msg.From] = msg.Payload.(*keyval.Pairs[V])
+		have++
+	}
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"repro/internal/des"
+	"repro/internal/fabric"
+)
+
+// scheduler implements GPMR's dynamic work queues: each GPU pulls chunks
+// from its local queue, and when a queue runs dry while others still have
+// work, a chunk is shifted from the fullest queue — charging the chunk's
+// serialized transfer over the fabric, which is why chunks must be
+// serializable in GPMR.
+type scheduler struct {
+	chunks []Chunk
+	queues [][]int // chunk indices per rank
+	fab    *fabric.Fabric
+}
+
+// newScheduler distributes chunks round-robin across ranks; assign may
+// override the initial placement (used by tests to create imbalance and by
+// apps with locality preferences).
+func newScheduler(chunks []Chunk, ranks int, fab *fabric.Fabric, assign func(chunk int) int) *scheduler {
+	s := &scheduler{chunks: chunks, queues: make([][]int, ranks), fab: fab}
+	for i := range chunks {
+		r := i % ranks
+		if assign != nil {
+			r = assign(i)
+		}
+		s.queues[r] = append(s.queues[r], i)
+	}
+	return s
+}
+
+// next returns the rank's next chunk, shifting one from the fullest queue
+// when the local queue is empty. The second result reports whether the
+// chunk was stolen (and from where); ok=false means global exhaustion.
+func (s *scheduler) next(p *des.Proc, rank int) (c Chunk, stolenFrom int, ok bool) {
+	if q := s.queues[rank]; len(q) > 0 {
+		idx := q[0]
+		s.queues[rank] = q[1:]
+		return s.chunks[idx], -1, true
+	}
+	victim, best := -1, 1 // require at least 2 queued to justify a shift
+	for r, q := range s.queues {
+		if len(q) > best {
+			victim, best = r, len(q)
+		}
+	}
+	if victim < 0 {
+		// Fall back to taking a final queued chunk even from a queue of 1:
+		// better one shift than an idle GPU.
+		for r, q := range s.queues {
+			if len(q) > 0 {
+				victim = r
+				break
+			}
+		}
+	}
+	if victim < 0 {
+		return nil, -1, false
+	}
+	q := s.queues[victim]
+	idx := q[len(q)-1] // steal from the tail: the victim keeps its prefix
+	s.queues[victim] = q[:len(q)-1]
+	c = s.chunks[idx]
+	s.fab.Transfer(p, victim, rank, c.VirtBytes())
+	return c, victim, true
+}
+
+// remaining reports how many chunks are still queued anywhere.
+func (s *scheduler) remaining() int {
+	n := 0
+	for _, q := range s.queues {
+		n += len(q)
+	}
+	return n
+}

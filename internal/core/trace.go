@@ -1,0 +1,102 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/des"
+)
+
+// RankTrace records one GPU process's stage completion timestamps plus
+// bookkeeping counters. The Figure-2 decomposition derives from the
+// timestamps: Map is everything until the last map-side work finishes,
+// Complete Binning is the shuffle drain that could not overlap with
+// mapping, then Sort and Reduce, with the remainder attributed to GPMR
+// internals (scheduling, gather, barriers).
+type RankTrace struct {
+	MapDone     des.Time // last map/accumulate/combine kernel finished
+	ShuffleDone des.Time // all partitions received (binning complete)
+	SortDone    des.Time
+	ReduceDone  des.Time
+
+	ChunksMapped int
+	ChunksStolen int
+	StolenBytes  int64
+	PairsEmitted int64 // virtual
+	PairsReduced int64 // virtual pairs fed to reducers
+	OutOfCore    bool  // sort stage spilled
+}
+
+// Trace aggregates a job's timing.
+type Trace struct {
+	Name  string
+	GPUs  int
+	Wall  des.Time
+	Ranks []RankTrace
+
+	// WireBytes is total cross-node virtual bytes; LocalBytes intra-node.
+	WireBytes  int64
+	LocalBytes int64
+}
+
+// Breakdown is a Figure-2-style runtime decomposition, in fractions of the
+// wall time (summing to 1).
+type Breakdown struct {
+	Map             float64
+	CompleteBinning float64
+	Sort            float64
+	Reduce          float64
+	Internal        float64
+}
+
+// Breakdown averages the per-rank stage decomposition.
+func (t *Trace) Breakdown() Breakdown {
+	if t.Wall <= 0 || len(t.Ranks) == 0 {
+		return Breakdown{}
+	}
+	var b Breakdown
+	w := float64(t.Wall)
+	for _, r := range t.Ranks {
+		m := clampT(r.MapDone)
+		sh := maxT(r.ShuffleDone, m)
+		so := maxT(r.SortDone, sh)
+		re := maxT(r.ReduceDone, so)
+		b.Map += float64(m) / w
+		b.CompleteBinning += float64(sh-m) / w
+		b.Sort += float64(so-sh) / w
+		b.Reduce += float64(re-so) / w
+		b.Internal += float64(t.Wall-re) / w
+	}
+	n := float64(len(t.Ranks))
+	b.Map /= n
+	b.CompleteBinning /= n
+	b.Sort /= n
+	b.Reduce /= n
+	b.Internal /= n
+	return b
+}
+
+func clampT(t des.Time) des.Time {
+	if t < 0 {
+		return 0
+	}
+	return t
+}
+
+func maxT(a, b des.Time) des.Time {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// String renders a compact human-readable summary.
+func (t *Trace) String() string {
+	b := t.Breakdown()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s: %d GPU(s), wall %v\n", t.Name, t.GPUs, t.Wall)
+	fmt.Fprintf(&sb, "  map %.1f%%  bin %.1f%%  sort %.1f%%  reduce %.1f%%  internal %.1f%%\n",
+		b.Map*100, b.CompleteBinning*100, b.Sort*100, b.Reduce*100, b.Internal*100)
+	fmt.Fprintf(&sb, "  wire %.1f MB  local %.1f MB", float64(t.WireBytes)/1e6, float64(t.LocalBytes)/1e6)
+	return sb.String()
+}

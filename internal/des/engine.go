@@ -1,0 +1,195 @@
+package des
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// event is a scheduled wake-up for a process.
+type event struct {
+	at   Time
+	seq  uint64
+	proc *Proc
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)        { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h *eventHeap) popEvent() event   { return heap.Pop(h).(event) }
+func (h *eventHeap) pushEvent(e event) { heap.Push(h, e) }
+
+// Engine is a single-threaded discrete-event simulator. It is not safe for
+// concurrent use; all interaction happens from simulated processes while the
+// engine is running, or from the owning goroutine before Run.
+type Engine struct {
+	now     Time
+	seq     uint64
+	queue   eventHeap
+	yield   chan yieldMsg
+	procs   []*Proc
+	live    int // spawned but not finished
+	blocked int // parked with no pending wake event
+	running bool
+}
+
+type yieldMsg struct {
+	proc *Proc
+	done bool
+	pnc  any // panic value propagated from the process, if any
+}
+
+// NewEngine returns an empty simulation at time zero.
+func NewEngine() *Engine {
+	return &Engine{yield: make(chan yieldMsg)}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Proc is the handle a simulated process uses to interact with the engine.
+// Each Proc is bound to exactly one goroutine (the one running its body).
+type Proc struct {
+	eng    *Engine
+	name   string
+	resume chan struct{}
+	parked bool // parked without a scheduled wake (waiting on resource/queue)
+	ended  bool
+}
+
+// Name returns the process name given at Spawn time.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the engine this process belongs to.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now returns the current simulated time.
+func (p *Proc) Now() Time { return p.eng.now }
+
+// Spawn registers a new process whose body starts at the current simulated
+// time. It may be called before Run or from a running process.
+func (e *Engine) Spawn(name string, body func(p *Proc)) *Proc {
+	p := &Proc{eng: e, name: name, resume: make(chan struct{})}
+	e.procs = append(e.procs, p)
+	e.live++
+	go func() {
+		<-p.resume // wait for first schedule
+		var pnc any
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					pnc = r
+				}
+			}()
+			body(p)
+		}()
+		p.ended = true
+		e.yield <- yieldMsg{proc: p, done: true, pnc: pnc}
+	}()
+	e.schedule(e.now, p)
+	return p
+}
+
+// schedule queues a wake-up for p at time at.
+func (e *Engine) schedule(at Time, p *Proc) {
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	e.queue.pushEvent(event{at: at, seq: e.seq, proc: p})
+}
+
+// Park suspends the calling process indefinitely; another process must call
+// Engine.Wake to resume it. It is the building block for synchronization
+// primitives defined outside this package (e.g. fabric barriers).
+func (p *Proc) Park() { p.park() }
+
+// Wake resumes a process suspended with Park (or any parked waiter) at the
+// current simulated time.
+func (e *Engine) Wake(p *Proc) { e.wake(p) }
+
+// wake reschedules a parked process to run at the current time. It is used
+// by resources and queues when a waiter becomes runnable.
+func (e *Engine) wake(p *Proc) {
+	if !p.parked {
+		panic("des: waking a process that is not parked")
+	}
+	p.parked = false
+	e.blocked--
+	e.schedule(e.now, p)
+}
+
+// park suspends the calling process with no scheduled wake-up; some other
+// process must call wake (via a resource release or queue put) to resume it.
+func (p *Proc) park() {
+	p.parked = true
+	p.eng.blocked++
+	p.eng.yield <- yieldMsg{proc: p}
+	<-p.resume
+}
+
+// Sleep suspends the calling process for d of simulated time. Negative
+// durations are treated as zero.
+func (p *Proc) Sleep(d Time) {
+	if d < 0 {
+		d = 0
+	}
+	p.eng.schedule(p.eng.now+d, p)
+	p.eng.yield <- yieldMsg{proc: p}
+	<-p.resume
+}
+
+// Yield gives other runnable processes scheduled at the current time a
+// chance to run before the caller continues.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// Run executes the simulation until every spawned process has finished.
+// It returns the final simulated time. If all remaining processes are
+// blocked with no pending events, Run panics with a deadlock report.
+func (e *Engine) Run() Time {
+	if e.running {
+		panic("des: Run called re-entrantly")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for e.live > 0 {
+		if e.queue.Len() == 0 {
+			panic(fmt.Sprintf("des: deadlock at t=%v: %d process(es) blocked: %v",
+				e.now, e.blocked, e.blockedNames()))
+		}
+		ev := e.queue.popEvent()
+		if ev.proc.ended {
+			continue // stale event for a finished process
+		}
+		e.now = ev.at
+		ev.proc.resume <- struct{}{}
+		msg := <-e.yield
+		if msg.pnc != nil {
+			panic(fmt.Sprintf("des: process %q panicked at t=%v: %v", msg.proc.name, e.now, msg.pnc))
+		}
+		if msg.done {
+			e.live--
+		}
+	}
+	return e.now
+}
+
+func (e *Engine) blockedNames() []string {
+	var names []string
+	for _, p := range e.procs {
+		if p.parked {
+			names = append(names, p.name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,61 @@
+// Package des implements a deterministic discrete-event simulation engine.
+//
+// The engine advances a virtual clock and runs simulated processes
+// cooperatively: exactly one process executes at a time, and all ties in
+// wake-up time are broken by scheduling sequence number, so a simulation is
+// bit-reproducible across runs regardless of host scheduling.
+//
+// Processes are ordinary goroutines that hand control back to the engine
+// whenever they perform a blocking simulation primitive (Sleep, resource
+// Acquire, queue Get). The package provides FIFO resources with integer
+// capacity, unbounded message queues, one-shot signals, and counting
+// barriers — enough to model compute engines, buses, NICs, and MPI-style
+// message passing.
+package des
+
+import "fmt"
+
+// Time is a point in simulated time, in nanoseconds.
+type Time int64
+
+// Common durations, mirroring time.Duration's constants.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Seconds returns t expressed in seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Micros returns t expressed in microseconds.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+// Millis returns t expressed in milliseconds.
+func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
+
+// FromSeconds converts a duration in seconds to a Time, rounding to the
+// nearest nanosecond. Negative and non-finite inputs are clamped to zero:
+// cost models occasionally produce -0.0 or tiny negative values from
+// floating-point cancellation, and a negative wait would corrupt the event
+// queue ordering.
+func FromSeconds(s float64) Time {
+	if !(s > 0) {
+		return 0
+	}
+	return Time(s*float64(Second) + 0.5)
+}
+
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.6gs", t.Seconds())
+	case t >= Millisecond:
+		return fmt.Sprintf("%.6gms", t.Millis())
+	case t >= Microsecond:
+		return fmt.Sprintf("%.6gus", t.Micros())
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}

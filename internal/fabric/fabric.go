@@ -1,0 +1,204 @@
+// Package fabric models the cluster interconnect: per-node NIC ingress and
+// egress engines connected through a non-blocking switch, with a
+// latency + size/bandwidth message cost (cut-through, so egress and ingress
+// occupancy overlap). This matches the paper's QDR InfiniBand + MVAPICH2
+// environment at the fidelity GPMR cares about: four GPU processes per node
+// share one NIC in each direction, which is what throttles
+// communication-bound MapReduce jobs at scale.
+//
+// Intra-node messages bypass the NIC and cost host-memory-copy time, as
+// MVAPICH2's shared-memory transport would.
+package fabric
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+)
+
+// Props describes the interconnect.
+type Props struct {
+	Bandwidth float64  // bytes/s per NIC per direction
+	Latency   des.Time // end-to-end message latency
+	HostMemBW float64  // bytes/s for intra-node (shared-memory) transport
+
+	// GPUDirect, when true, models the paper's future-work wish: NIC
+	// transfers source/sink GPU memory directly, so callers skip the
+	// staging PCIe copies. The fabric itself only records the flag; the
+	// GPMR pipeline consults it.
+	GPUDirect bool
+}
+
+// QDRInfiniBand returns the effective characteristics of the paper's
+// cluster fabric (QDR IB through gen-1 PCIe caps practical bandwidth near
+// 3.2 GB/s; MVAPICH2 small-message latency ~2 µs).
+func QDRInfiniBand() Props {
+	return Props{Bandwidth: 3.2e9, Latency: 2 * des.Microsecond, HostMemBW: 5.3e9}
+}
+
+// Message is one fabric delivery.
+type Message struct {
+	From, To  int
+	Tag       string
+	VirtBytes int64
+	Payload   any
+}
+
+// Fabric connects a set of ranks placed on nodes.
+type Fabric struct {
+	eng    *des.Engine
+	props  Props
+	nodeOf []int
+	inbox  []*des.Queue
+	nicIn  []*des.Resource
+	nicOut []*des.Resource
+
+	// BytesSent counts cross-node traffic in virtual bytes, for reports.
+	BytesSent int64
+	// LocalBytes counts intra-node traffic in virtual bytes.
+	LocalBytes int64
+}
+
+// New builds a fabric for len(nodeOf) ranks, where nodeOf[r] is the node
+// hosting rank r. Nodes are numbered 0..max(nodeOf).
+func New(eng *des.Engine, props Props, nodeOf []int) *Fabric {
+	maxNode := -1
+	for _, n := range nodeOf {
+		if n > maxNode {
+			maxNode = n
+		}
+	}
+	f := &Fabric{
+		eng:    eng,
+		props:  props,
+		nodeOf: append([]int(nil), nodeOf...),
+		inbox:  make([]*des.Queue, len(nodeOf)),
+		nicIn:  make([]*des.Resource, maxNode+1),
+		nicOut: make([]*des.Resource, maxNode+1),
+	}
+	for r := range f.inbox {
+		f.inbox[r] = des.NewQueue(eng, fmt.Sprintf("inbox%d", r))
+	}
+	for n := 0; n <= maxNode; n++ {
+		f.nicIn[n] = des.NewResource(eng, fmt.Sprintf("node%d.nic.in", n), 1)
+		f.nicOut[n] = des.NewResource(eng, fmt.Sprintf("node%d.nic.out", n), 1)
+	}
+	return f
+}
+
+// Props returns the fabric's configuration.
+func (f *Fabric) Props() Props { return f.props }
+
+// Ranks returns the number of ranks.
+func (f *Fabric) Ranks() int { return len(f.nodeOf) }
+
+// NodeOf returns the node hosting rank r.
+func (f *Fabric) NodeOf(r int) int { return f.nodeOf[r] }
+
+// SameNode reports whether two ranks share a node.
+func (f *Fabric) SameNode(a, b int) bool { return f.nodeOf[a] == f.nodeOf[b] }
+
+func (f *Fabric) wireTime(bytes int64) des.Time {
+	return des.FromSeconds(float64(bytes) / f.props.Bandwidth)
+}
+
+// Send transmits a message from rank `from` (the calling process) to rank
+// `to`. The caller blocks while its egress NIC is occupied (send-side cost);
+// delivery happens asynchronously after the fabric latency, gated by the
+// receiver's ingress NIC. Intra-node sends cost a host memory copy instead.
+func (f *Fabric) Send(p *des.Proc, from, to int, tag string, virtBytes int64, payload any) {
+	msg := Message{From: from, To: to, Tag: tag, VirtBytes: virtBytes, Payload: payload}
+	if f.nodeOf[from] == f.nodeOf[to] {
+		f.LocalBytes += virtBytes
+		p.Sleep(des.FromSeconds(float64(virtBytes) / f.props.HostMemBW))
+		f.inbox[to].Put(msg)
+		return
+	}
+	f.BytesSent += virtBytes
+	dur := f.wireTime(virtBytes)
+	out := f.nicOut[f.nodeOf[from]]
+	out.Acquire(p, 1)
+	p.Sleep(dur)
+	out.Release(1)
+	in := f.nicIn[f.nodeOf[to]]
+	lat := f.props.Latency
+	f.eng.Spawn(fmt.Sprintf("wire:%d->%d", from, to), func(w *des.Proc) {
+		w.Sleep(lat)
+		// Cut-through: ingress occupancy overlaps egress in real fabrics;
+		// we charge only the residual serialization at the receiver.
+		in.Acquire(w, 1)
+		w.Sleep(dur / 8) // receive-side per-message processing share
+		in.Release(1)
+		f.inbox[to].Put(msg)
+	})
+}
+
+// Recv blocks until a message for rank r arrives and returns it. Callers
+// demultiplex by Tag.
+func (f *Fabric) Recv(p *des.Proc, r int) Message {
+	return f.inbox[r].Get(p).(Message)
+}
+
+// TryRecv returns a pending message without blocking.
+func (f *Fabric) TryRecv(r int) (Message, bool) {
+	v, ok := f.inbox[r].TryGet()
+	if !ok {
+		return Message{}, false
+	}
+	return v.(Message), true
+}
+
+// Transfer models a synchronous point-to-point bulk move (used for chunk
+// shifting during load balancing): the caller blocks for the full transfer,
+// holding both endpoints' NICs for cross-node moves.
+func (f *Fabric) Transfer(p *des.Proc, from, to int, virtBytes int64) des.Time {
+	start := p.Now()
+	if f.nodeOf[from] == f.nodeOf[to] {
+		f.LocalBytes += virtBytes
+		p.Sleep(des.FromSeconds(float64(virtBytes) / f.props.HostMemBW))
+		return p.Now() - start
+	}
+	f.BytesSent += virtBytes
+	dur := f.wireTime(virtBytes)
+	out, in := f.nicOut[f.nodeOf[from]], f.nicIn[f.nodeOf[to]]
+	out.Acquire(p, 1)
+	in.Acquire(p, 1)
+	p.Sleep(f.props.Latency + dur)
+	in.Release(1)
+	out.Release(1)
+	return p.Now() - start
+}
+
+// Barrier synchronizes a fixed set of participants, reusable across rounds.
+type Barrier struct {
+	eng     *des.Engine
+	n       int
+	arrived int
+	waiters []*des.Proc
+	lat     des.Time
+}
+
+// NewBarrier creates a barrier for n participants; each release costs one
+// fabric latency (a dissemination barrier would cost log2(n)·latency — we
+// charge the single hop MVAPICH2 achieves on this node count).
+func (f *Fabric) NewBarrier(n int) *Barrier {
+	return &Barrier{eng: f.eng, n: n, lat: f.props.Latency}
+}
+
+// Arrive blocks until all n participants have arrived.
+func (b *Barrier) Arrive(p *des.Proc) {
+	b.arrived++
+	if b.arrived < b.n {
+		b.waiters = append(b.waiters, p)
+		p.Park()
+		return
+	}
+	// Last arrival releases everyone after one latency hop.
+	b.arrived = 0
+	waiters := b.waiters
+	b.waiters = nil
+	p.Sleep(b.lat)
+	for _, w := range waiters {
+		b.eng.Wake(w)
+	}
+}

@@ -1,0 +1,196 @@
+package gpu
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+)
+
+// Device is one simulated GPU. Its compute engine and copy engine are
+// separate des.Resources, so kernels overlap PCIe transfers exactly as on
+// hardware with one DMA engine. The PCIe link resource is supplied by the
+// node model and may be shared between devices (as on the Tesla S1070,
+// where GPU pairs share a host interface card).
+type Device struct {
+	Props
+	ID int
+
+	eng     *des.Engine
+	compute *des.Resource
+	copyEng *des.Resource
+
+	pcie    *des.Resource
+	pcieBW  float64
+	pcieLat des.Time
+	memUsed int64
+	memPeak int64
+	buffers int
+	// Accumulated busy times for utilization reporting.
+	KernelTime des.Time
+	CopyTime   des.Time
+}
+
+// NewDevice creates a device attached to the given PCIe link resource.
+func NewDevice(eng *des.Engine, id int, pr Props, pcieLink *des.Resource, pcieProps PCIeProps) *Device {
+	return &Device{
+		Props:   pr,
+		ID:      id,
+		eng:     eng,
+		compute: des.NewResource(eng, fmt.Sprintf("gpu%d.compute", id), 1),
+		copyEng: des.NewResource(eng, fmt.Sprintf("gpu%d.copy", id), pr.CopyEngines),
+		pcie:    pcieLink,
+		pcieBW:  pcieProps.Bandwidth,
+		pcieLat: pcieProps.Latency,
+	}
+}
+
+// MemUsed returns the currently allocated device memory in virtual bytes.
+func (d *Device) MemUsed() int64 { return d.memUsed }
+
+// MemPeak returns the high-water mark of device memory use.
+func (d *Device) MemPeak() int64 { return d.memPeak }
+
+// MemFree returns the remaining device memory in virtual bytes.
+func (d *Device) MemFree() int64 { return d.MemBytes - d.memUsed }
+
+// Buffer is an allocation in simulated device memory. Data holds the
+// host-side payload that stands in for device contents; VirtBytes is the
+// size the allocation would have at paper scale and is what capacity
+// accounting and transfer costs use.
+type Buffer struct {
+	dev       *Device
+	name      string
+	virtBytes int64
+	freed     bool
+	Data      any
+}
+
+// ErrOutOfMemory is returned by Alloc when the device cannot hold the
+// requested buffer; GPMR's out-of-core machinery reacts to it by spilling.
+type ErrOutOfMemory struct {
+	Device    int
+	Requested int64
+	Free      int64
+}
+
+func (e *ErrOutOfMemory) Error() string {
+	return fmt.Sprintf("gpu%d: out of memory: requested %d bytes, %d free", e.Device, e.Requested, e.Free)
+}
+
+// Alloc reserves virtBytes of device memory and attaches data as the
+// functional payload.
+func (d *Device) Alloc(name string, virtBytes int64, data any) (*Buffer, error) {
+	if virtBytes < 0 {
+		panic("gpu: negative allocation")
+	}
+	if d.memUsed+virtBytes > d.MemBytes {
+		return nil, &ErrOutOfMemory{Device: d.ID, Requested: virtBytes, Free: d.MemFree()}
+	}
+	d.memUsed += virtBytes
+	if d.memUsed > d.memPeak {
+		d.memPeak = d.memUsed
+	}
+	d.buffers++
+	return &Buffer{dev: d, name: name, virtBytes: virtBytes, Data: data}, nil
+}
+
+// MustAlloc is Alloc for callers that have already sized their request to
+// fit (chunk planners); it panics on exhaustion to surface planner bugs.
+func (d *Device) MustAlloc(name string, virtBytes int64, data any) *Buffer {
+	b, err := d.Alloc(name, virtBytes, data)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// VirtBytes returns the buffer's size at paper scale.
+func (b *Buffer) VirtBytes() int64 { return b.virtBytes }
+
+// Resize adjusts the buffer's accounted size (emit buffers shrink after
+// compaction, grow after accumulation).
+func (b *Buffer) Resize(virtBytes int64) error {
+	if b.freed {
+		panic("gpu: resize of freed buffer " + b.name)
+	}
+	delta := virtBytes - b.virtBytes
+	if delta > 0 && b.dev.memUsed+delta > b.dev.MemBytes {
+		return &ErrOutOfMemory{Device: b.dev.ID, Requested: delta, Free: b.dev.MemFree()}
+	}
+	b.dev.memUsed += delta
+	if b.dev.memUsed > b.dev.memPeak {
+		b.dev.memPeak = b.dev.memUsed
+	}
+	b.virtBytes = virtBytes
+	return nil
+}
+
+// Free releases the buffer's device memory. Freeing twice is a bug.
+func (b *Buffer) Free() {
+	if b.freed {
+		panic("gpu: double free of buffer " + b.name)
+	}
+	b.freed = true
+	b.dev.memUsed -= b.virtBytes
+	b.dev.buffers--
+	b.Data = nil
+}
+
+// Launch runs a kernel: fn performs the functional work immediately (in
+// host code), while the calling process occupies the compute engine for the
+// kernel's modeled duration. It returns that duration.
+func (d *Device) Launch(p *des.Proc, spec KernelSpec, fn func()) des.Time {
+	cost := spec.Cost(d.Props)
+	d.compute.Acquire(p, 1)
+	if fn != nil {
+		fn()
+	}
+	p.Sleep(cost)
+	d.compute.Release(1)
+	d.KernelTime += cost
+	return cost
+}
+
+// LaunchFor runs a kernel sequence with a precomputed aggregate cost
+// (multi-pass primitives like radix sort), holding the compute engine for
+// the whole duration.
+func (d *Device) LaunchFor(p *des.Proc, cost des.Time, fn func()) des.Time {
+	d.compute.Acquire(p, 1)
+	if fn != nil {
+		fn()
+	}
+	p.Sleep(cost)
+	d.compute.Release(1)
+	d.KernelTime += cost
+	return cost
+}
+
+// transfer models one PCIe DMA: the copy engine and the (possibly shared)
+// link are held for the transfer duration.
+func (d *Device) transfer(p *des.Proc, virtBytes int64, fn func()) des.Time {
+	dur := d.pcieLat + des.FromSeconds(float64(virtBytes)/d.pcieBW)
+	d.copyEng.Acquire(p, 1)
+	d.pcie.Acquire(p, 1)
+	if fn != nil {
+		fn()
+	}
+	p.Sleep(dur)
+	d.pcie.Release(1)
+	d.copyEng.Release(1)
+	d.CopyTime += dur
+	return dur
+}
+
+// CopyToDevice models a host→device transfer of virtBytes; fn (optional)
+// installs the functional payload.
+func (d *Device) CopyToDevice(p *des.Proc, virtBytes int64, fn func()) des.Time {
+	return d.transfer(p, virtBytes, fn)
+}
+
+// CopyToHost models a device→host transfer of virtBytes.
+func (d *Device) CopyToHost(p *des.Proc, virtBytes int64, fn func()) des.Time {
+	return d.transfer(p, virtBytes, fn)
+}
+
+// ComputeBusy returns the compute engine's busy-time integral.
+func (d *Device) ComputeBusy() des.Time { return d.compute.BusyIntegral() }

@@ -1,0 +1,64 @@
+package gpu
+
+import "repro/internal/des"
+
+// KernelSpec describes the work a kernel performs, in *virtual* units: when
+// the simulation replicates data (see Buffer), specs must be given for the
+// virtual (paper-scale) workload so timing matches paper-scale runs.
+type KernelSpec struct {
+	Name string
+
+	// Threads is the total number of logical threads launched. Launches too
+	// small to fill the device are charged reduced throughput.
+	Threads int64
+
+	// FlopsPerThread is the arithmetic work per thread (fused ops count 1).
+	FlopsPerThread float64
+
+	// BytesRead / BytesWritten are coalesced global-memory traffic totals.
+	BytesRead    float64
+	BytesWritten float64
+
+	// UncoalescedBytes is global traffic issued in scattered patterns,
+	// charged at MemBandwidth / UncoalescedPenalty.
+	UncoalescedBytes float64
+
+	// Atomics is the number of global atomic operations; AtomicConflict is
+	// the average number of colliding threads per operation (1 = conflict
+	// free; k means k threads serialize on the same address).
+	Atomics        float64
+	AtomicConflict float64
+}
+
+// Cost returns the simulated execution time of the kernel on a device with
+// properties pr, excluding queueing for the compute engine.
+func (s KernelSpec) Cost(pr Props) des.Time {
+	if s.Threads <= 0 {
+		return pr.LaunchOverhead
+	}
+	util := 1.0
+	if s.Threads < pr.MaxResidentThreads {
+		util = float64(s.Threads) / float64(pr.MaxResidentThreads)
+		// Even a single warp gets a sliver of the machine.
+		if util < 1.0/float64(pr.MaxResidentThreads) {
+			util = 1.0 / float64(pr.MaxResidentThreads)
+		}
+	}
+	compute := float64(s.Threads) * s.FlopsPerThread / (pr.SustainedFlops * util)
+	mem := (s.BytesRead + s.BytesWritten) / (pr.MemBandwidth * util)
+	if s.UncoalescedBytes > 0 {
+		mem += s.UncoalescedBytes * pr.UncoalescedPenalty / (pr.MemBandwidth * util)
+	}
+	t := compute
+	if mem > t {
+		t = mem
+	}
+	if s.Atomics > 0 {
+		conflict := s.AtomicConflict
+		if conflict < 1 {
+			conflict = 1
+		}
+		t += s.Atomics * conflict / pr.AtomicThroughput
+	}
+	return pr.LaunchOverhead + des.FromSeconds(t)
+}

@@ -1,0 +1,106 @@
+// Package keyval provides the key–value pair buffers that flow through the
+// GPMR pipeline. Keys are 4-byte integers, as in the paper — GPMR imposes
+// no strict key definition, but every benchmark (including WordOccurrence,
+// via a minimal perfect hash) maps its keys onto uint32 for coalesced
+// access. Values are a generic fixed-size type.
+//
+// Buffers carry both a physical pair count (the data actually materialized
+// and computed on, so results stay exactly checkable) and a virtual pair
+// count (the paper-scale workload the cost model charges for); see the
+// virtual replication discussion in DESIGN.md.
+package keyval
+
+// Pairs is a structure-of-arrays pair buffer: Keys[i] goes with Vals[i].
+// The SoA layout mirrors what a GPU implementation needs for coalescing.
+type Pairs[V any] struct {
+	Keys []uint32
+	Vals []V
+
+	// Virt is the virtual pair count this buffer represents. Zero means
+	// "same as physical" and is normalized by VirtLen.
+	Virt int64
+}
+
+// Len returns the physical pair count.
+func (p *Pairs[V]) Len() int { return len(p.Keys) }
+
+// VirtLen returns the virtual pair count (defaulting to physical).
+func (p *Pairs[V]) VirtLen() int64 {
+	if p.Virt > 0 {
+		return p.Virt
+	}
+	return int64(len(p.Keys))
+}
+
+// VirtBytes returns the buffer's virtual size given the per-value byte
+// width used by the app's cost accounting.
+func (p *Pairs[V]) VirtBytes(valBytes int64) int64 {
+	return p.VirtLen() * (4 + valBytes)
+}
+
+// Append adds one pair.
+func (p *Pairs[V]) Append(k uint32, v V) {
+	p.Keys = append(p.Keys, k)
+	p.Vals = append(p.Vals, v)
+}
+
+// AppendPairs adds all pairs from q and folds in its virtual count.
+func (p *Pairs[V]) AppendPairs(q *Pairs[V]) {
+	pv, qv := p.VirtLen(), q.VirtLen()
+	p.Keys = append(p.Keys, q.Keys...)
+	p.Vals = append(p.Vals, q.Vals...)
+	p.Virt = pv + qv
+}
+
+// Reset empties the buffer, keeping capacity.
+func (p *Pairs[V]) Reset() {
+	p.Keys = p.Keys[:0]
+	p.Vals = p.Vals[:0]
+	p.Virt = 0
+}
+
+// Clone deep-copies the buffer.
+func (p *Pairs[V]) Clone() Pairs[V] {
+	return Pairs[V]{
+		Keys: append([]uint32(nil), p.Keys...),
+		Vals: append([]V(nil), p.Vals...),
+		Virt: p.Virt,
+	}
+}
+
+// Bucket splits pairs into n buckets according to rankOf(key), preserving
+// relative order within each bucket (a stable scatter, as GPMR's GPU
+// partitioner produces so each reducer's pairs are contiguous). Virtual
+// counts are apportioned proportionally, with remainders assigned
+// low-bucket-first so they always sum to the input's virtual count.
+func (p *Pairs[V]) Bucket(n int, rankOf func(key uint32) int) []Pairs[V] {
+	if n <= 0 {
+		panic("keyval: Bucket with n <= 0")
+	}
+	buckets := make([]Pairs[V], n)
+	for i, k := range p.Keys {
+		d := rankOf(k)
+		if d < 0 || d >= n {
+			panic("keyval: partitioner returned rank out of range")
+		}
+		buckets[d].Append(k, p.Vals[i])
+	}
+	phys := int64(p.Len())
+	if phys == 0 {
+		return buckets
+	}
+	virt := p.VirtLen()
+	assigned := int64(0)
+	for i := range buckets {
+		share := virt * int64(buckets[i].Len()) / phys
+		buckets[i].Virt = share
+		assigned += share
+	}
+	for i := 0; assigned < virt && i < n; i++ {
+		if buckets[i].Len() > 0 {
+			buckets[i].Virt++
+			assigned++
+		}
+	}
+	return buckets
+}

@@ -1,0 +1,190 @@
+// Package mars models the Mars GPU MapReduce framework (He et al.,
+// PACT'08), the paper's single-GPU baseline for Table 3. Mars's structural
+// costs are reproduced explicitly:
+//
+//   - strictly in-core: the input, all intermediate pairs, and sort
+//     scratch must fit in device memory, or Run returns ErrNotInCore
+//     (the paper sized Table 3's inputs to Mars's in-core limits);
+//   - two-pass emission: because Mars cannot dynamically allocate, every
+//     map runs twice — MapCount to size the output, a prefix sum, then the
+//     real Map writing to exact offsets;
+//   - a monolithic bitonic sort of *all* intermediate pairs — no combiner,
+//     no accumulation, which is what GPMR's Accumulation beats by 37× on
+//     KMC (bitonic moves every pair through ~log²n/2 compare-exchange
+//     passes, so large values are catastrophic);
+//   - no copy/compute overlap: stages run strictly one after another, with
+//     one H2D of the whole input and one D2H of the whole output;
+//   - framework-owned scheduling (one thread per item, no user kernels).
+package mars
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cudpp"
+	"repro/internal/des"
+	"repro/internal/gpu"
+	"repro/internal/keyval"
+)
+
+// ErrNotInCore is returned when the dataset exceeds Mars's in-core limit.
+var ErrNotInCore = errors.New("mars: dataset exceeds in-core device memory")
+
+// App describes one Mars job. Costs are expressed at paper (virtual)
+// scale; functional work runs on the physical data inside MapTask/Reduce.
+type App[V any] struct {
+	Name string
+
+	InputBytes int64 // virtual input size
+	Elements   int64 // virtual map items
+	Pairs      int64 // virtual intermediate pairs emitted
+	ValBytes   int64 // virtual bytes per value
+
+	// MapFlopsPerElem and MapBytesPerElem describe one map pass; Mars runs
+	// the kernel twice (count + emit). UncoalescedFrac is the fraction of
+	// the map traffic that is scattered (one-thread-per-item layouts).
+	MapFlopsPerElem   float64
+	MapBytesPerElem   float64
+	UncoalescedFrac   float64
+	ReduceFlopsPerVal float64
+
+	// NoSort skips the sort/group machinery for apps whose keys are
+	// already unique (Mars lets applications disable the sort stage;
+	// its MM uses that).
+	NoSort bool
+
+	// MapTask emits all pairs functionally.
+	MapTask func(emit func(k uint32, v V))
+	// Reduce folds one key's values; nil copies the last value.
+	Reduce func(k uint32, vals []V) V
+}
+
+// Result carries the output, the wall time, and the per-stage times that
+// make Mars's cost structure visible in reports.
+type Result[V any] struct {
+	Output map[uint32]V
+	Wall   des.Time
+
+	H2D, MapCount, Scan, Map, Sort, Group, Reduce, D2H des.Time
+}
+
+// sortCost models Mars's bitonic sort: ~log₂²n/2 compare-exchange passes,
+// each streaming every pair through global memory.
+func sortCost(pr gpu.Props, virtN, valBytes int64) des.Time {
+	if virtN < 2 {
+		return 0
+	}
+	logN := 0
+	for n := virtN - 1; n > 0; n >>= 1 {
+		logN++
+	}
+	passes := logN * (logN + 1) / 2
+	spec := gpu.KernelSpec{
+		Name:           "mars.bitonic.pass",
+		Threads:        virtN / 2,
+		FlopsPerThread: 4,
+		BytesRead:      float64(virtN * (4 + valBytes)),
+		BytesWritten:   float64(virtN * (4 + valBytes)),
+	}
+	return des.Time(passes) * spec.Cost(pr)
+}
+
+// Run executes the app on one simulated GT200.
+func Run[V any](app App[V], pr gpu.Props) (*Result[V], error) {
+	if app.MapTask == nil || app.Elements <= 0 {
+		return nil, fmt.Errorf("mars: app %q needs elements and a map function", app.Name)
+	}
+	pairBytes := app.Pairs * (4 + app.ValBytes)
+	// In-core requirement: input + pairs + sort scratch.
+	if app.InputBytes+2*pairBytes > pr.MemBytes {
+		return nil, fmt.Errorf("%w: need %d bytes of %d", ErrNotInCore, app.InputBytes+2*pairBytes, pr.MemBytes)
+	}
+	eng := des.NewEngine()
+	link := des.NewResource(eng, "pcie", 1)
+	dev := gpu.NewDevice(eng, 0, pr, link, gpu.PCIeGen2x16())
+
+	res := &Result[V]{}
+	var pairs keyval.Pairs[V]
+	eng.Spawn("mars", func(p *des.Proc) {
+		t0 := p.Now()
+		dev.CopyToDevice(p, app.InputBytes, nil)
+		res.H2D = p.Now() - t0
+
+		mapSpec := gpu.KernelSpec{
+			Name:             app.Name + ".mapcount",
+			Threads:          app.Elements,
+			FlopsPerThread:   app.MapFlopsPerElem,
+			BytesRead:        float64(app.Elements) * app.MapBytesPerElem * (1 - app.UncoalescedFrac),
+			UncoalescedBytes: float64(app.Elements) * app.MapBytesPerElem * app.UncoalescedFrac,
+			BytesWritten:     float64(app.Elements * 4), // per-thread counts
+		}
+		t := p.Now()
+		dev.Launch(p, mapSpec, nil)
+		res.MapCount = p.Now() - t
+
+		t = p.Now()
+		cudpp.DeviceScan(p, dev, app.Elements, nil)
+		res.Scan = p.Now() - t
+
+		emitSpec := mapSpec
+		emitSpec.Name = app.Name + ".map"
+		emitSpec.BytesWritten = float64(pairBytes)
+		t = p.Now()
+		dev.Launch(p, emitSpec, func() {
+			app.MapTask(func(k uint32, v V) { pairs.Append(k, v) })
+		})
+		res.Map = p.Now() - t
+
+		var segs []cudpp.Segment
+		if app.NoSort {
+			// Keys are unique: group trivially without sorting.
+			dev.Launch(p, gpu.KernelSpec{Name: app.Name + ".nosort"}, func() {
+				cudpp.SortPairs(pairs.Keys, pairs.Vals) // functional grouping only
+				segs = cudpp.Segments(pairs.Keys)
+			})
+		} else {
+			t = p.Now()
+			dev.LaunchFor(p, sortCost(pr, app.Pairs, app.ValBytes), func() {
+				cudpp.SortPairs(pairs.Keys, pairs.Vals)
+			})
+			res.Sort = p.Now() - t
+
+			t = p.Now()
+			segs, _ = cudpp.DeviceSegments(p, dev, pairs.Keys, app.Pairs)
+			res.Group = p.Now() - t
+		}
+
+		// Reduce: count pass + scan + reduce pass, Mars-style.
+		nSegs := int64(len(segs))
+		if nSegs == 0 {
+			nSegs = 1
+		}
+		virtVals := app.Pairs
+		redSpec := gpu.KernelSpec{
+			Name:             app.Name + ".reduce",
+			Threads:          nSegs,
+			FlopsPerThread:   app.ReduceFlopsPerVal * float64(virtVals) / float64(nSegs),
+			UncoalescedBytes: float64(virtVals * (4 + app.ValBytes)),
+			BytesWritten:     float64(nSegs * (4 + app.ValBytes)),
+		}
+		t = p.Now()
+		cudpp.DeviceScan(p, dev, nSegs, nil)
+		dev.Launch(p, redSpec, func() {
+			res.Output = make(map[uint32]V, len(segs))
+			for _, s := range segs {
+				if app.Reduce != nil {
+					res.Output[s.Key] = app.Reduce(s.Key, pairs.Vals[s.Start:s.Start+s.Count])
+				} else {
+					res.Output[s.Key] = pairs.Vals[s.Start+s.Count-1]
+				}
+			}
+		})
+		res.Reduce = p.Now() - t
+
+		t = p.Now()
+		dev.CopyToHost(p, nSegs*(4+app.ValBytes), nil)
+		res.D2H = p.Now() - t
+	})
+	res.Wall = eng.Run()
+	return res, nil
+}

@@ -1,0 +1,118 @@
+package mars
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/gpu"
+)
+
+func TestMMCorrectness(t *testing.T) {
+	app, a, b, phys := MM(1024, 32, 1)
+	res, err := Run(app, gpu.GT200())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < phys; i++ {
+		for j := 0; j < phys; j++ {
+			var want float64
+			for k := 0; k < phys; k++ {
+				want += float64(a[i*phys+k]) * float64(b[k*phys+j])
+			}
+			got := res.Output[uint32(i*phys+j)]
+			if math.Abs(got-want) > 1e-6*(math.Abs(want)+1) {
+				t.Fatalf("C[%d,%d]=%g want %g", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestKMCCorrectness(t *testing.T) {
+	app, pts, ctrs, factor := KMC(1<<12, 1<<12, 8, 4, 1)
+	res, err := Run(app, gpu.GT200())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dim := 4
+	ref := make(map[uint32]float64)
+	n := len(pts) / dim
+	for i := 0; i < n; i++ {
+		pt := pts[i*dim : (i+1)*dim]
+		best, bestD := 0, float32(0)
+		for ci, ctr := range ctrs {
+			var d float32
+			for d2 := 0; d2 < dim; d2++ {
+				diff := pt[d2] - ctr[d2]
+				d += diff * diff
+			}
+			if ci == 0 || d < bestD {
+				best, bestD = ci, d
+			}
+		}
+		for d2 := 0; d2 < dim; d2++ {
+			ref[uint32(best*(dim+1)+d2)] += float64(pt[d2]) * float64(factor)
+		}
+		ref[uint32(best*(dim+1)+dim)] += float64(factor)
+	}
+	for k, want := range ref {
+		if math.Abs(res.Output[k]-want) > 1e-6*(math.Abs(want)+1) {
+			t.Fatalf("key %d: %g want %g", k, res.Output[k], want)
+		}
+	}
+}
+
+func TestWOCorrectness(t *testing.T) {
+	app, lines, table := WO(1<<14, 1<<14, 300, 1)
+	res, err := Run(app, gpu.GT200())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := make(map[uint32]uint32)
+	for _, ln := range lines {
+		for _, w := range strings.Fields(ln) {
+			ref[table.Lookup(w)]++
+		}
+	}
+	for k, want := range ref {
+		if res.Output[k] != want {
+			t.Fatalf("slot %d: %d want %d", k, res.Output[k], want)
+		}
+	}
+}
+
+func TestInCoreLimitEnforced(t *testing.T) {
+	// 512M-point KMC: pairs alone exceed 1 GB — Mars must refuse.
+	app, _, _, _ := KMC(512<<20, 1<<10, 8, 4, 1)
+	_, err := Run(app, gpu.GT200())
+	if !errors.Is(err, ErrNotInCore) {
+		t.Errorf("expected ErrNotInCore, got %v", err)
+	}
+}
+
+func TestStagesAccounted(t *testing.T) {
+	app, _, _, _ := KMC(1<<20, 1<<10, 8, 4, 1)
+	res, err := Run(app, gpu.GT200())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := res.H2D + res.MapCount + res.Scan + res.Map + res.Sort + res.Group + res.Reduce + res.D2H
+	if sum > res.Wall || sum < res.Wall*95/100 {
+		t.Errorf("stage sum %v vs wall %v", sum, res.Wall)
+	}
+	// Mars's monolithic sort must dominate KMC (what Accumulation removes).
+	if res.Sort < res.Map {
+		t.Errorf("KMC: sort %v < map %v — sort should dominate", res.Sort, res.Map)
+	}
+	// Two-pass emission: MapCount within ~2x of Map (same reads, fewer writes).
+	if res.MapCount <= 0 || res.MapCount > 2*res.Map {
+		t.Errorf("two-pass structure broken: count %v map %v", res.MapCount, res.Map)
+	}
+}
+
+func TestInvalidApp(t *testing.T) {
+	if _, err := Run(App[int]{Name: "bad"}, gpu.GT200()); err == nil {
+		t.Error("expected error")
+	}
+}

@@ -1,0 +1,109 @@
+// Package mph builds a minimal perfect hash over a fixed word dictionary,
+// standing in for the paper's use of Cichelli-style minimal perfect hashing
+// to turn WordOccurrence's string keys into unique 4-byte integers. The
+// construction is the "hash, displace" scheme (CHD without compression):
+// words are bucketed by a first-level hash, buckets are seeded largest
+// first, and each bucket searches for a displacement seed that maps all its
+// words to free slots. Lookup is two hash evaluations — cheap enough for a
+// GPU map kernel, which is the property the paper exploits.
+package mph
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Table is an immutable minimal perfect hash over the dictionary it was
+// built from: Lookup maps each dictionary word to a distinct value in
+// [0, Len()).
+type Table struct {
+	seeds []int32
+	slots int
+}
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func hash(seed uint64, s string) uint64 {
+	h := uint64(fnvOffset) ^ (seed * 0x9e3779b97f4a7c15)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime
+	}
+	h ^= h >> 29
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 32
+	return h
+}
+
+// Build constructs a Table for words, which must be non-empty and free of
+// duplicates.
+func Build(words []string) (*Table, error) {
+	n := len(words)
+	if n == 0 {
+		return nil, errors.New("mph: empty dictionary")
+	}
+	nBuckets := (n + 3) / 4
+	buckets := make([][]string, nBuckets)
+	for _, w := range words {
+		b := int(hash(0, w) % uint64(nBuckets))
+		buckets[b] = append(buckets[b], w)
+	}
+	// Largest buckets first: they have the fewest seed choices.
+	order := make([]int, nBuckets)
+	for i := range order {
+		order[i] = i
+	}
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && len(buckets[order[j]]) > len(buckets[order[j-1]]); j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	taken := make([]bool, n)
+	seeds := make([]int32, nBuckets)
+	for _, bi := range order {
+		bucket := buckets[bi]
+		if len(bucket) == 0 {
+			continue
+		}
+	seedSearch:
+		for seed := int32(1); ; seed++ {
+			if seed > 1<<22 {
+				return nil, fmt.Errorf("mph: no displacement found for bucket of %d words (duplicate words?)", len(bucket))
+			}
+			marks := make([]int, 0, len(bucket))
+			for _, w := range bucket {
+				slot := int(hash(uint64(seed), w) % uint64(n))
+				if taken[slot] {
+					for _, m := range marks {
+						taken[m] = false
+					}
+					continue seedSearch
+				}
+				// Reject intra-bucket collisions too.
+				taken[slot] = true
+				marks = append(marks, slot)
+			}
+			seeds[bi] = seed
+			break
+		}
+	}
+	return &Table{seeds: seeds, slots: n}, nil
+}
+
+// Len returns the dictionary size (and the size of the hash's range).
+func (t *Table) Len() int { return t.slots }
+
+// Lookup returns the word's slot in [0, Len()). Words outside the build
+// dictionary return an arbitrary slot; the paper's benchmark draws all
+// input from the dictionary, so no membership test is needed.
+func (t *Table) Lookup(w string) uint32 {
+	b := hash(0, w) % uint64(len(t.seeds))
+	return uint32(hash(uint64(t.seeds[b]), w) % uint64(t.slots))
+}
+
+// LookupCostFlops is the modeled arithmetic cost of one GPU-side lookup
+// (two short hash loops over the word bytes plus a modular reduction).
+func LookupCostFlops(wordLen int) float64 { return float64(4*wordLen + 8) }

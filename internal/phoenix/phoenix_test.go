@@ -1,0 +1,171 @@
+package phoenix
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/des"
+)
+
+func TestSIOCorrectness(t *testing.T) {
+	app, data := SIO(1<<14, 1<<14, 1)
+	res, err := Run(app, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := make(map[uint32]uint32)
+	for _, v := range data {
+		ref[v]++
+	}
+	if len(res.Output) != len(ref) {
+		t.Fatalf("%d keys, want %d", len(res.Output), len(ref))
+	}
+	for k, want := range ref {
+		if res.Output[k] != want {
+			t.Fatalf("key %d: %d, want %d", k, res.Output[k], want)
+		}
+	}
+	if res.Wall <= 0 {
+		t.Error("zero wall time")
+	}
+}
+
+func TestWOCorrectness(t *testing.T) {
+	app, lines, table := WO(1<<14, 1<<14, 300, 1)
+	res, err := Run(app, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := make(map[uint32]uint32)
+	for _, ln := range lines {
+		for _, w := range splitFields(ln) {
+			ref[table.Lookup(w)]++
+		}
+	}
+	for k, want := range ref {
+		if res.Output[k] != want {
+			t.Fatalf("slot %d: %d, want %d", k, res.Output[k], want)
+		}
+	}
+}
+
+func splitFields(s string) []string {
+	var out []string
+	start := -1
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ' ' {
+			if start >= 0 {
+				out = append(out, s[start:i])
+				start = -1
+			}
+		} else if start < 0 {
+			start = i
+		}
+	}
+	return out
+}
+
+func TestKMCCorrectness(t *testing.T) {
+	app, pts, ctrs := KMC(1<<12, 1<<12, 8, 4, 1)
+	res, err := Run(app, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dim := 4
+	ref := make(map[uint32]float64)
+	n := len(pts) / dim
+	for i := 0; i < n; i++ {
+		pt := pts[i*dim : (i+1)*dim]
+		best, bestD := 0, float32(0)
+		for ci, ctr := range ctrs {
+			var d float32
+			for d2 := 0; d2 < dim; d2++ {
+				diff := pt[d2] - ctr[d2]
+				d += diff * diff
+			}
+			if ci == 0 || d < bestD {
+				best, bestD = ci, d
+			}
+		}
+		for d2 := 0; d2 < dim; d2++ {
+			ref[uint32(best*(dim+1)+d2)] += float64(pt[d2])
+		}
+		ref[uint32(best*(dim+1)+dim)]++
+	}
+	for k, want := range ref {
+		if math.Abs(res.Output[k]-want) > 1e-6*(math.Abs(want)+1) {
+			t.Fatalf("key %d: %g, want %g", k, res.Output[k], want)
+		}
+	}
+}
+
+func TestLRCorrectness(t *testing.T) {
+	app, xy := LR(1<<12, 1<<12, 1, 2, 3, 0.5)
+	res, err := Run(app, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var n, sx float64
+	for i := 0; i+1 < len(xy); i += 2 {
+		n++
+		sx += xy[i]
+	}
+	if math.Abs(res.Output[0]-n) > 1e-9 || math.Abs(res.Output[1]-sx) > 1e-6*sx {
+		t.Fatalf("n=%g sx=%g, want %g %g", res.Output[0], res.Output[1], n, sx)
+	}
+}
+
+func TestMMCorrectness(t *testing.T) {
+	app, a, b, phys := MM(1024, 32, 1)
+	res, err := Run(app, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < phys; i++ {
+		for j := 0; j < phys; j++ {
+			var want float64
+			for k := 0; k < phys; k++ {
+				want += float64(a[i*phys+k]) * float64(b[k*phys+j])
+			}
+			got := res.Output[uint32(i*phys+j)]
+			if math.Abs(got-want) > 1e-6*(math.Abs(want)+1) {
+				t.Fatalf("C[%d,%d] = %g, want %g", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestMoreCoresFaster(t *testing.T) {
+	app, _ := SIO(8<<20, 1<<12, 1)
+	r1, err := Run(app, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app4, _ := SIO(8<<20, 1<<12, 1)
+	r4, err := Run(app4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r4.Wall >= r1.Wall {
+		t.Errorf("4 cores (%v) not faster than 1 (%v)", r4.Wall, r1.Wall)
+	}
+}
+
+func TestMM1024TakesSeconds(t *testing.T) {
+	// The paper: "Phoenix required almost twenty seconds to multiply two
+	// 1024×1024 matrices". Our model should land within a factor of ~2.
+	app, _, _, _ := MM(1024, 32, 1)
+	res, err := Run(app, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Wall < 5*des.Second || res.Wall > 40*des.Second {
+		t.Errorf("Phoenix 1024² MM took %v; paper measured ~20 s", res.Wall)
+	}
+}
+
+func TestInvalidApp(t *testing.T) {
+	if _, err := Run(App[int]{Name: "bad"}, 0); err == nil {
+		t.Error("expected error for empty app")
+	}
+}

@@ -1,0 +1,156 @@
+// Package workload generates the paper's benchmark datasets
+// deterministically: sparse integer streams (SIO), random text over a
+// 43,000-word dictionary (WO), point sets (KMC, LR), and dense matrices
+// (MM). All generators are seeded splitmix64, so every experiment is
+// reproducible bit-for-bit.
+package workload
+
+import "fmt"
+
+// RNG is a splitmix64 generator: tiny, fast, and deterministic across
+// platforms (unlike math/rand's source it is stable by construction).
+type RNG struct{ state uint64 }
+
+// NewRNG returns a generator seeded with seed.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Next returns the next 64 random bits.
+func (r *RNG) Next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Uint32 returns 32 random bits.
+func (r *RNG) Uint32() uint32 { return uint32(r.Next() >> 32) }
+
+// Intn returns a value in [0, n).
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("workload: Intn with n <= 0")
+	}
+	return int(r.Next() % uint64(n))
+}
+
+// Float32 returns a value in [0, 1).
+func (r *RNG) Float32() float32 {
+	return float32(r.Next()>>40) / float32(1<<24)
+}
+
+// Float64 returns a value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Next()>>11) / float64(1<<53)
+}
+
+// SparseInts generates n integers uniform over the full uint32 space — the
+// SIO input: keys are sparse, so partitioning and sorting cannot exploit a
+// compact range.
+func SparseInts(seed uint64, n int) []uint32 {
+	r := NewRNG(seed)
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = r.Uint32()
+	}
+	return out
+}
+
+// DictionarySize is the paper's forty-three-thousand-word corpus size.
+const DictionarySize = 43000
+
+// Dictionary synthesizes nWords distinct lowercase words with a natural
+// length distribution (3–12 letters). Deterministic in seed.
+func Dictionary(seed uint64, nWords int) []string {
+	r := NewRNG(seed)
+	seen := make(map[string]bool, nWords)
+	words := make([]string, 0, nWords)
+	for len(words) < nWords {
+		n := 3 + r.Intn(10)
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = byte('a' + r.Intn(26))
+		}
+		w := string(b)
+		if !seen[w] {
+			seen[w] = true
+			words = append(words, w)
+		}
+	}
+	return words
+}
+
+// Text generates lines of space-separated dictionary words totalling
+// approximately nBytes, words drawn uniformly; lines break near 80 columns
+// as in the paper's line-separated corpus.
+func Text(seed uint64, dict []string, nBytes int) []string {
+	r := NewRNG(seed)
+	var lines []string
+	line := make([]byte, 0, 96)
+	total := 0
+	for total < nBytes {
+		w := dict[r.Intn(len(dict))]
+		if len(line) > 0 {
+			line = append(line, ' ')
+		}
+		line = append(line, w...)
+		total += len(w) + 1
+		if len(line) >= 80 {
+			lines = append(lines, string(line))
+			line = line[:0]
+		}
+	}
+	if len(line) > 0 {
+		lines = append(lines, string(line))
+	}
+	return lines
+}
+
+// Points generates n points of dim float32 coordinates in [0, 100), laid
+// out AoS (x0 y0 z0 x1 ...) as the KMC chunks pack them.
+func Points(seed uint64, n, dim int) []float32 {
+	r := NewRNG(seed)
+	out := make([]float32, n*dim)
+	for i := range out {
+		out[i] = r.Float32() * 100
+	}
+	return out
+}
+
+// XYPairs generates n (x, y) samples around the line y = a + b·x with
+// uniform noise — the LR input with a known ground-truth model.
+func XYPairs(seed uint64, n int, a, b, noise float64) []float64 {
+	r := NewRNG(seed)
+	out := make([]float64, 2*n)
+	for i := 0; i < n; i++ {
+		x := r.Float64() * 10
+		y := a + b*x + (r.Float64()-0.5)*2*noise
+		out[2*i] = x
+		out[2*i+1] = y
+	}
+	return out
+}
+
+// Matrix generates an m×m row-major matrix with entries in [-1, 1).
+func Matrix(seed uint64, m int) []float32 {
+	r := NewRNG(seed)
+	out := make([]float32, m*m)
+	for i := range out {
+		out[i] = r.Float32()*2 - 1
+	}
+	return out
+}
+
+// SplitEven partitions n items into parts of near-equal contiguous ranges;
+// it returns the start offsets (len parts+1). Used to cut datasets into
+// chunks.
+func SplitEven(n, parts int) []int {
+	if parts <= 0 {
+		panic(fmt.Sprintf("workload: SplitEven with parts=%d", parts))
+	}
+	offs := make([]int, parts+1)
+	for i := 0; i <= parts; i++ {
+		offs[i] = n * i / parts
+	}
+	return offs
+}

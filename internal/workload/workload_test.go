@@ -1,0 +1,174 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(7), NewRNG(7)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRNG(8)
+	same := true
+	a = NewRNG(7)
+	for i := 0; i < 10; i++ {
+		if a.Next() != c.Next() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestSparseIntsSparse(t *testing.T) {
+	ints := SparseInts(1, 100000)
+	if len(ints) != 100000 {
+		t.Fatalf("len=%d", len(ints))
+	}
+	seen := make(map[uint32]bool, len(ints))
+	for _, v := range ints {
+		seen[v] = true
+	}
+	// Uniform over 2^32: expect almost all distinct.
+	if len(seen) < 99000 {
+		t.Errorf("only %d distinct of 100000 — not sparse", len(seen))
+	}
+}
+
+func TestDictionaryDistinct(t *testing.T) {
+	words := Dictionary(3, 5000)
+	if len(words) != 5000 {
+		t.Fatalf("len=%d", len(words))
+	}
+	seen := make(map[string]bool)
+	for _, w := range words {
+		if seen[w] {
+			t.Fatalf("duplicate word %q", w)
+		}
+		seen[w] = true
+		if len(w) < 3 || len(w) > 12 {
+			t.Fatalf("word %q has out-of-band length", w)
+		}
+	}
+}
+
+func TestTextDrawsFromDictionary(t *testing.T) {
+	dict := Dictionary(3, 200)
+	inDict := make(map[string]bool)
+	for _, w := range dict {
+		inDict[w] = true
+	}
+	lines := Text(5, dict, 10000)
+	total := 0
+	for _, ln := range lines {
+		for _, w := range strings.Fields(ln) {
+			if !inDict[w] {
+				t.Fatalf("word %q not in dictionary", w)
+			}
+			total += len(w) + 1
+		}
+	}
+	if total < 10000 || total > 11000 {
+		t.Errorf("generated ~%d bytes, want ~10000", total)
+	}
+}
+
+func TestPointsRangeAndShape(t *testing.T) {
+	pts := Points(2, 1000, 3)
+	if len(pts) != 3000 {
+		t.Fatalf("len=%d", len(pts))
+	}
+	for _, v := range pts {
+		if v < 0 || v >= 100 {
+			t.Fatalf("coordinate %f out of range", v)
+		}
+	}
+}
+
+func TestXYPairsFollowModel(t *testing.T) {
+	xy := XYPairs(11, 50000, 2.0, 3.0, 0.5)
+	// Least-squares fit should recover a≈2, b≈3.
+	var n, sx, sy, sxx, sxy float64
+	for i := 0; i < len(xy); i += 2 {
+		x, y := xy[i], xy[i+1]
+		n++
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+	}
+	b := (n*sxy - sx*sy) / (n*sxx - sx*sx)
+	a := (sy - b*sx) / n
+	if a < 1.9 || a > 2.1 || b < 2.99 || b > 3.01 {
+		t.Errorf("recovered a=%.3f b=%.4f, want 2,3", a, b)
+	}
+}
+
+func TestMatrixShape(t *testing.T) {
+	m := Matrix(4, 16)
+	if len(m) != 256 {
+		t.Fatalf("len=%d", len(m))
+	}
+	for _, v := range m {
+		if v < -1 || v >= 1 {
+			t.Fatalf("entry %f out of range", v)
+		}
+	}
+}
+
+func TestSplitEven(t *testing.T) {
+	offs := SplitEven(10, 3)
+	want := []int{0, 3, 6, 10}
+	for i := range want {
+		if offs[i] != want[i] {
+			t.Errorf("offs[%d]=%d, want %d", i, offs[i], want[i])
+		}
+	}
+}
+
+func TestPropertySplitEvenCoversExactly(t *testing.T) {
+	f := func(nRaw uint16, pRaw uint8) bool {
+		n, p := int(nRaw), int(pRaw%32)+1
+		offs := SplitEven(n, p)
+		if offs[0] != 0 || offs[p] != n {
+			return false
+		}
+		for i := 1; i <= p; i++ {
+			if offs[i] < offs[i-1] {
+				return false
+			}
+			// Balanced: no part differs from ideal by more than 1.
+			size := offs[i] - offs[i-1]
+			ideal := n / p
+			if size < ideal || size > ideal+1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyFloat32InUnitRange(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		for i := 0; i < 100; i++ {
+			v := r.Float32()
+			if v < 0 || v >= 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
