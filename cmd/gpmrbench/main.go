@@ -1,6 +1,6 @@
 // Command gpmrbench regenerates the paper's evaluation: every table and
-// figure of Section 6, plus weak scaling and the ablations argued in
-// prose.
+// figure of Section 6, plus weak scaling, the ablations argued in prose,
+// and a chunk-imbalance scenario comparing steal policies.
 //
 // Usage:
 //
@@ -21,7 +21,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1|table2|table3|table4|fig2|fig3|weak|ablation|all")
+	exp := flag.String("exp", "all", "experiment: table1|table2|table3|table4|fig2|fig3|weak|ablation|imbalance|all")
 	benchName := flag.String("bench", "", "benchmark for fig3/weak (mm|sio|wo|kmc|lr; empty = all)")
 	phys := flag.Int("phys", 1<<16, "physical element budget per run")
 	seed := flag.Uint64("seed", 1, "workload seed")
@@ -109,6 +109,14 @@ func main() {
 			return err
 		}
 		bench.RenderAblation(out, rows)
+		return nil
+	})
+	run("imbalance", func() error {
+		rows, err := bench.Imbalance(o)
+		if err != nil {
+			return err
+		}
+		bench.RenderImbalance(out, rows)
 		return nil
 	})
 }

@@ -57,6 +57,10 @@ type (
 	Trace = core.Trace
 	// Breakdown is a Figure-2-style runtime decomposition.
 	Breakdown = core.Breakdown
+	// StealPolicy selects the dynamic work queues' victim policy.
+	StealPolicy = core.StealPolicy
+	// StealStats aggregates chunk-shift provenance across ranks.
+	StealStats = core.StealStats
 
 	// Mapper is the user's map stage.
 	Mapper[V any] = core.Mapper[V]
@@ -89,6 +93,14 @@ type (
 
 // DefaultStartup is the per-job spin-up the benchmark apps charge.
 const DefaultStartup = core.DefaultStartup
+
+// Steal policies selectable via Config.StealPolicy.
+const (
+	// StealGlobal shifts chunks from the globally fullest queue.
+	StealGlobal = core.StealGlobal
+	// StealLocalFirst prefers same-node victims, sparing the NICs.
+	StealLocalFirst = core.StealLocalFirst
+)
 
 // FitAllChunking is a helper for Reducer.ChunkValueSets implementations.
 func FitAllChunking(sets int, virtVals, freeBytes, valBytes int64) int {

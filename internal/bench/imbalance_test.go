@@ -1,0 +1,58 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestImbalancePolicyComparison(t *testing.T) {
+	rows, err := Imbalance(fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows, want one per policy", len(rows))
+	}
+	byPolicy := map[string]ImbalanceRow{}
+	for _, r := range rows {
+		byPolicy[r.Policy] = r
+	}
+	gl, ok := byPolicy["global"]
+	if !ok {
+		t.Fatal("missing global row")
+	}
+	lf, ok := byPolicy["localfirst"]
+	if !ok {
+		t.Fatal("missing localfirst row")
+	}
+	// The headline claim: on a skewed placement, local-first stealing
+	// moves less traffic across the node boundary.
+	if gl.RemoteSteals == 0 {
+		t.Error("skewed placement induced no cross-node steals under global")
+	}
+	if lf.RemoteSteals >= gl.RemoteSteals {
+		t.Errorf("localfirst remote steals %d >= global %d", lf.RemoteSteals, gl.RemoteSteals)
+	}
+	if lf.WireBytes >= gl.WireBytes {
+		t.Errorf("localfirst wire bytes %d >= global %d", lf.WireBytes, gl.WireBytes)
+	}
+	// Sparing the NICs must not cost meaningful makespan.
+	if float64(lf.Wall) > float64(gl.Wall)*1.05 {
+		t.Errorf("localfirst makespan %v much worse than global %v", lf.Wall, gl.Wall)
+	}
+}
+
+func TestRenderImbalance(t *testing.T) {
+	rows, err := Imbalance(fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	RenderImbalance(&sb, rows)
+	out := sb.String()
+	for _, want := range []string{"Chunk imbalance", "global", "localfirst", "makespan"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table lacks %q:\n%s", want, out)
+		}
+	}
+}

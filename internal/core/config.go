@@ -54,6 +54,22 @@ type Config struct {
 	// inputs at high GPU counts (the collapsing 1M-element curves of
 	// Figure 3). Zero means none; the benchmark apps use DefaultStartup.
 	Startup des.Time
+
+	// StealPolicy selects how the dynamic work queues pick a victim when
+	// a starved rank shifts a chunk. The zero value, StealGlobal, is the
+	// paper's topology-blind behaviour; StealLocalFirst keeps shifts
+	// on-node when possible to spare the NICs. See DESIGN.md.
+	StealPolicy StealPolicy
+
+	// StealMinQueue is the minimum number of queued chunks a victim
+	// should hold to justify a shift (default 2: don't rob a queue of
+	// its only chunk — its owner will finish it sooner locally). For
+	// StealLocalFirst it defines when a node counts as dry: a thief
+	// crosses the node boundary once no same-node queue meets the
+	// threshold. Below-threshold queues are robbed (fullest first) only
+	// when no queue anywhere meets it — better one shift than an idle
+	// GPU.
+	StealMinQueue int
 }
 
 // DefaultStartup is the per-job spin-up the benchmark applications charge,
@@ -73,6 +89,12 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.PipelineDepth <= 0 {
 		c.PipelineDepth = 2
+	}
+	if c.StealPolicy != StealGlobal && c.StealPolicy != StealLocalFirst {
+		return c, fmt.Errorf("core: unknown StealPolicy %d", c.StealPolicy)
+	}
+	if c.StealMinQueue <= 0 {
+		c.StealMinQueue = 2
 	}
 	if c.Cluster == nil {
 		cc := cluster.DefaultConfig(c.GPUs)

@@ -73,7 +73,7 @@ func (j *Job[V]) Run() (*Result[V], error) {
 		job:    j,
 		cfg:    cfg,
 		cl:     cl,
-		sched:  newScheduler(j.Chunks, cfg.GPUs, cl.Fabric, j.Assign),
+		sched:  newScheduler(j.Chunks, cfg, cl.Fabric, j.Assign),
 		traces: make([]RankTrace, cfg.GPUs),
 		outs:   make([]keyval.Pairs[V], cfg.GPUs),
 		gather: make([]*keyval.Pairs[V], cfg.GPUs),

@@ -58,7 +58,6 @@ type rankState[V any] struct {
 	combineReady *des.Signal
 
 	shuffle  keyval.Pairs[V]
-	earlyOut []*keyval.Pairs[V]
 	sortedIn bool // sorted pairs resident on device (in-core path)
 	devPairs *gpu.Buffer
 }
@@ -104,6 +103,13 @@ func (st *rankState[V]) loaderProc(p *des.Proc) {
 		if stolenFrom >= 0 {
 			st.tr.ChunksStolen++
 			st.tr.StolenBytes += chunk.VirtBytes()
+			if st.rt.cl.Fabric.SameNode(stolenFrom, st.rank) {
+				st.tr.LocalSteals++
+				st.tr.LocalStolenBytes += chunk.VirtBytes()
+			} else {
+				st.tr.RemoteSteals++
+				st.tr.RemoteStolenBytes += chunk.VirtBytes()
+			}
 		}
 		st.slots.Acquire(p, 1)
 		buf := st.dev.MustAlloc("chunk", chunk.VirtBytes(), nil)
@@ -183,6 +189,13 @@ func (st *rankState[V]) partitionAndBin(p *des.Proc, out keyval.Pairs[V]) {
 	rt := st.rt
 	n := rt.cfg.GPUs
 	vb := out.VirtBytes(rt.cfg.ValBytes)
+	if out.Len() == 0 && out.VirtLen() == 0 {
+		// Nothing to partition: skip the kernel (it would launch with zero
+		// threads) and hand the bin process empty buckets so it still sees
+		// one message per chunk.
+		st.binQ.Put(binMsg[V]{kind: binBuckets, buckets: make([]keyval.Pairs[V], n)})
+		return
+	}
 	var buckets []keyval.Pairs[V]
 	if rt.job.Partitioner == nil || n == 1 {
 		// Omitted Partition: all pairs to a single reducer, no kernel.
@@ -208,10 +221,6 @@ func (st *rankState[V]) partitionAndBin(p *des.Proc, out keyval.Pairs[V]) {
 			buckets = out.Bucket(n, func(k uint32) int { return part.Rank(k, n) })
 		})
 	}
-	if out.Len() == 0 && out.VirtLen() == 0 {
-		st.binQ.Put(binMsg[V]{kind: binBuckets, buckets: buckets, virtBytes: 0})
-		return
-	}
 	st.emitSlots.Acquire(p, 1)
 	buf := st.dev.MustAlloc("emit", vb, nil)
 	st.binQ.Put(binMsg[V]{kind: binBuckets, buckets: buckets, buf: buf, virtBytes: vb})
@@ -230,7 +239,10 @@ func (st *rankState[V]) combineTail(p *des.Proc) {
 	}
 	valBytes := rt.cfg.ValBytes
 	totalVirt := all.VirtLen()
-	// Piece size: half of free memory leaves room for sort scratch.
+	// Piece size: a quarter of free memory, so a piece plus its
+	// equal-sized sort scratch stays within half of free memory even
+	// after integer rounding — the same sizing sortStage uses for its
+	// external-sort runs.
 	pieceVirtBytes := st.dev.MemFree() / 4
 	pairVirtBytes := 4 + valBytes
 	pieceVirtPairs := pieceVirtBytes / pairVirtBytes
@@ -337,7 +349,6 @@ func (st *rankState[V]) reduceProc(p *des.Proc) {
 		case tagEnd:
 			ends++
 		case tagOut:
-			st.earlyOut = append(st.earlyOut, msg.Payload.(*keyval.Pairs[V]))
 			rt.gather[msg.From] = msg.Payload.(*keyval.Pairs[V])
 		}
 	}

@@ -5,24 +5,70 @@ import (
 	"repro/internal/fabric"
 )
 
+// StealPolicy selects how a starved rank picks the victim queue when the
+// dynamic work queues shift a chunk for load balance.
+type StealPolicy int
+
+const (
+	// StealGlobal shifts from the globally fullest queue, ignoring node
+	// topology (the paper's behaviour).
+	StealGlobal StealPolicy = iota
+	// StealLocalFirst prefers the fullest queue on the thief's own node —
+	// an intra-node shift is a host-memory copy that leaves both NICs
+	// free — and crosses the node boundary only when the whole node is
+	// dry. See DESIGN.md, "Locality-aware chunk stealing".
+	StealLocalFirst
+)
+
+// String names the policy for traces and benchmark reports.
+func (p StealPolicy) String() string {
+	switch p {
+	case StealGlobal:
+		return "global"
+	case StealLocalFirst:
+		return "localfirst"
+	}
+	return "unknown"
+}
+
+// nodeScope restricts victim selection relative to the thief's node.
+type nodeScope int
+
+const (
+	anyNode nodeScope = iota
+	sameNodeOnly
+	otherNodeOnly
+)
+
 // scheduler implements GPMR's dynamic work queues: each GPU pulls chunks
 // from its local queue, and when a queue runs dry while others still have
-// work, a chunk is shifted from the fullest queue — charging the chunk's
+// work, a chunk is shifted from a victim queue — charging the chunk's
 // serialized transfer over the fabric, which is why chunks must be
-// serializable in GPMR.
+// serializable in GPMR. Victim selection is policy-driven: the fabric's
+// node topology tells the scheduler which shifts stay on-node (cheap
+// host-memory copies) and which occupy NICs.
 type scheduler struct {
-	chunks []Chunk
-	queues [][]int // chunk indices per rank
-	fab    *fabric.Fabric
+	chunks   []Chunk
+	queues   [][]int // chunk indices per rank
+	fab      *fabric.Fabric
+	policy   StealPolicy
+	minQueue int // victims should hold at least this many chunks
 }
 
 // newScheduler distributes chunks round-robin across ranks; assign may
-// override the initial placement (used by tests to create imbalance and by
-// apps with locality preferences).
-func newScheduler(chunks []Chunk, ranks int, fab *fabric.Fabric, assign func(chunk int) int) *scheduler {
-	s := &scheduler{chunks: chunks, queues: make([][]int, ranks), fab: fab}
+// override the initial placement (used by tests and benchmarks to create
+// imbalance and by apps with locality preferences). The fabric supplies
+// the node topology that StealLocalFirst consults.
+func newScheduler(chunks []Chunk, cfg Config, fab *fabric.Fabric, assign func(chunk int) int) *scheduler {
+	s := &scheduler{
+		chunks:   chunks,
+		queues:   make([][]int, cfg.GPUs),
+		fab:      fab,
+		policy:   cfg.StealPolicy,
+		minQueue: cfg.StealMinQueue,
+	}
 	for i := range chunks {
-		r := i % ranks
+		r := i % cfg.GPUs
 		if assign != nil {
 			r = assign(i)
 		}
@@ -31,7 +77,7 @@ func newScheduler(chunks []Chunk, ranks int, fab *fabric.Fabric, assign func(chu
 	return s
 }
 
-// next returns the rank's next chunk, shifting one from the fullest queue
+// next returns the rank's next chunk, shifting one from a victim queue
 // when the local queue is empty. The second result reports whether the
 // chunk was stolen (and from where); ok=false means global exhaustion.
 func (s *scheduler) next(p *des.Proc, rank int) (c Chunk, stolenFrom int, ok bool) {
@@ -40,20 +86,26 @@ func (s *scheduler) next(p *des.Proc, rank int) (c Chunk, stolenFrom int, ok boo
 		s.queues[rank] = q[1:]
 		return s.chunks[idx], -1, true
 	}
-	victim, best := -1, 1 // require at least 2 queued to justify a shift
-	for r, q := range s.queues {
-		if len(q) > best {
-			victim, best = r, len(q)
+	victim := -1
+	switch s.policy {
+	case StealLocalFirst:
+		// The threshold defines "dry": a node whose queues are all below
+		// minQueue is crossed away from rather than robbed of stragglers
+		// its owners will finish on their own. Only when no queue
+		// anywhere meets the threshold does the final tier take the
+		// fullest non-empty queue, local before remote — better one
+		// shift than an idle GPU.
+		if victim = s.pickVictim(rank, sameNodeOnly, s.minQueue); victim < 0 {
+			victim = s.pickVictim(rank, otherNodeOnly, s.minQueue)
 		}
-	}
-	if victim < 0 {
-		// Fall back to taking a final queued chunk even from a queue of 1:
-		// better one shift than an idle GPU.
-		for r, q := range s.queues {
-			if len(q) > 0 {
-				victim = r
-				break
+		if victim < 0 {
+			if victim = s.pickVictim(rank, sameNodeOnly, 1); victim < 0 {
+				victim = s.pickVictim(rank, otherNodeOnly, 1)
 			}
+		}
+	default:
+		if victim = s.pickVictim(rank, anyNode, s.minQueue); victim < 0 {
+			victim = s.pickVictim(rank, anyNode, 1)
 		}
 	}
 	if victim < 0 {
@@ -65,6 +117,30 @@ func (s *scheduler) next(p *des.Proc, rank int) (c Chunk, stolenFrom int, ok boo
 	c = s.chunks[idx]
 	s.fab.Transfer(p, victim, rank, c.VirtBytes())
 	return c, victim, true
+}
+
+// pickVictim returns the in-scope rank with the fullest queue holding at
+// least minLen chunks, or -1 when none does.
+func (s *scheduler) pickVictim(thief int, scope nodeScope, minLen int) int {
+	victim, best := -1, minLen-1
+	for r, q := range s.queues {
+		if s.inScope(thief, r, scope) && len(q) > best {
+			victim, best = r, len(q)
+		}
+	}
+	return victim
+}
+
+// inScope reports whether rank r is an eligible victim for the thief under
+// the given node scope.
+func (s *scheduler) inScope(thief, r int, scope nodeScope) bool {
+	switch scope {
+	case sameNodeOnly:
+		return s.fab.SameNode(thief, r)
+	case otherNodeOnly:
+		return !s.fab.SameNode(thief, r)
+	}
+	return true
 }
 
 // remaining reports how many chunks are still queued anywhere.

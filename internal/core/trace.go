@@ -20,11 +20,19 @@ type RankTrace struct {
 	ReduceDone  des.Time
 
 	ChunksMapped int
-	ChunksStolen int
-	StolenBytes  int64
+	ChunksStolen int   // total chunks this rank stole (local + remote)
+	StolenBytes  int64 // total virtual bytes this rank stole
 	PairsEmitted int64 // virtual
 	PairsReduced int64 // virtual pairs fed to reducers
 	OutOfCore    bool  // sort stage spilled
+
+	// Steal provenance: a local steal is an intra-node shift (host-memory
+	// copy); a remote steal crosses the node boundary and occupies both
+	// endpoints' NICs for the whole transfer.
+	LocalSteals       int
+	RemoteSteals      int
+	LocalStolenBytes  int64
+	RemoteStolenBytes int64
 }
 
 // Trace aggregates a job's timing.
@@ -37,6 +45,29 @@ type Trace struct {
 	// WireBytes is total cross-node virtual bytes; LocalBytes intra-node.
 	WireBytes  int64
 	LocalBytes int64
+}
+
+// StealStats aggregates chunk-shift provenance across a job's ranks.
+type StealStats struct {
+	LocalSteals  int
+	RemoteSteals int
+	LocalBytes   int64
+	RemoteBytes  int64
+}
+
+// Total is the combined steal count.
+func (s StealStats) Total() int { return s.LocalSteals + s.RemoteSteals }
+
+// Steals sums the per-rank steal provenance counters.
+func (t *Trace) Steals() StealStats {
+	var s StealStats
+	for _, r := range t.Ranks {
+		s.LocalSteals += r.LocalSteals
+		s.RemoteSteals += r.RemoteSteals
+		s.LocalBytes += r.LocalStolenBytes
+		s.RemoteBytes += r.RemoteStolenBytes
+	}
+	return s
 }
 
 // Breakdown is a Figure-2-style runtime decomposition, in fractions of the
@@ -98,5 +129,10 @@ func (t *Trace) String() string {
 	fmt.Fprintf(&sb, "  map %.1f%%  bin %.1f%%  sort %.1f%%  reduce %.1f%%  internal %.1f%%\n",
 		b.Map*100, b.CompleteBinning*100, b.Sort*100, b.Reduce*100, b.Internal*100)
 	fmt.Fprintf(&sb, "  wire %.1f MB  local %.1f MB", float64(t.WireBytes)/1e6, float64(t.LocalBytes)/1e6)
+	if st := t.Steals(); st.Total() > 0 {
+		fmt.Fprintf(&sb, "\n  steals %d local (%.1f MB) / %d remote (%.1f MB)",
+			st.LocalSteals, float64(st.LocalBytes)/1e6,
+			st.RemoteSteals, float64(st.RemoteBytes)/1e6)
+	}
 	return sb.String()
 }
