@@ -1,12 +1,15 @@
 // Command gpmrbench regenerates the paper's evaluation: every table and
 // figure of Section 6, plus weak scaling, the ablations argued in prose,
-// and a chunk-imbalance scenario comparing steal policies.
+// a chunk-imbalance scenario comparing steal policies, and the
+// fault-injection scenarios (GPU fail-stop recovery and straggler
+// speculation).
 //
 // Usage:
 //
 //	gpmrbench -exp all                  # everything (default)
 //	gpmrbench -exp fig3 -bench sio      # one figure, one benchmark
 //	gpmrbench -exp table2 -phys 1048576 # higher functional fidelity
+//	gpmrbench -exp faults               # fault recovery & speculation
 //
 // Larger -phys materializes more physical data per run (slower, more
 // faithful functionally); simulated costs always use paper-scale sizes.
@@ -16,12 +19,19 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/bench"
 )
 
+// experiment is one named entry in the driver registry.
+type experiment struct {
+	name string
+	run  func() error
+}
+
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1|table2|table3|table4|fig2|fig3|weak|ablation|imbalance|all")
+	exp := flag.String("exp", "all", "experiment to run, or \"all\" (see -exp help)")
 	benchName := flag.String("bench", "", "benchmark for fig3/weak (mm|sio|wo|kmc|lr; empty = all)")
 	phys := flag.Int("phys", 1<<16, "physical element budget per run")
 	seed := flag.Uint64("seed", 1, "workload seed")
@@ -29,94 +39,126 @@ func main() {
 
 	o := bench.Options{PhysBudget: *phys, Seed: *seed}
 	out := os.Stdout
-	run := func(name string, f func() error) {
-		if *exp != "all" && *exp != name {
-			return
-		}
-		if err := f(); err != nil {
-			fmt.Fprintf(os.Stderr, "gpmrbench: %s: %v\n", name, err)
-			os.Exit(1)
-		}
-		fmt.Fprintln(out)
-	}
 
 	benches := bench.Benchmarks
 	if *benchName != "" {
 		benches = []string{*benchName}
 	}
 
-	run("table1", func() error { bench.Table1(out); return nil })
-	run("fig3", func() error {
-		for _, b := range benches {
-			res, err := bench.Fig3(b, o)
+	experiments := []experiment{
+		{"table1", func() error { bench.Table1(out); return nil }},
+		{"fig3", func() error {
+			for _, b := range benches {
+				res, err := bench.Fig3(b, o)
+				if err != nil {
+					return err
+				}
+				res.Render(out)
+				fmt.Fprintln(out)
+			}
+			return nil
+		}},
+		{"fig2", func() error {
+			rows, err := bench.Fig2(o)
 			if err != nil {
 				return err
 			}
-			res.Render(out)
-			fmt.Fprintln(out)
-		}
-		return nil
-	})
-	run("fig2", func() error {
-		rows, err := bench.Fig2(o)
-		if err != nil {
-			return err
-		}
-		bench.RenderFig2(out, rows)
-		return nil
-	})
-	run("table2", func() error {
-		rows, err := bench.Table2(o)
-		if err != nil {
-			return err
-		}
-		bench.RenderSpeedups(out, "Table 2 — GPMR speedup over Phoenix (4-core CPU)", rows)
-		return nil
-	})
-	run("table3", func() error {
-		rows, err := bench.Table3(o)
-		if err != nil {
-			return err
-		}
-		bench.RenderSpeedups(out, "Table 3 — GPMR speedup over Mars (single GPU)", rows)
-		return nil
-	})
-	run("table4", func() error {
-		rows, err := bench.Table4(".")
-		if err != nil {
-			return err
-		}
-		bench.RenderTable4(out, rows)
-		return nil
-	})
-	run("weak", func() error {
-		for _, b := range benches {
-			if b == "mm" {
-				continue // no weak set for MM in Table 1
-			}
-			pts, err := bench.Weak(b, o)
+			bench.RenderFig2(out, rows)
+			return nil
+		}},
+		{"table2", func() error {
+			rows, err := bench.Table2(o)
 			if err != nil {
 				return err
 			}
-			bench.RenderWeak(out, b, pts)
-			fmt.Fprintln(out)
+			bench.RenderSpeedups(out, "Table 2 — GPMR speedup over Phoenix (4-core CPU)", rows)
+			return nil
+		}},
+		{"table3", func() error {
+			rows, err := bench.Table3(o)
+			if err != nil {
+				return err
+			}
+			bench.RenderSpeedups(out, "Table 3 — GPMR speedup over Mars (single GPU)", rows)
+			return nil
+		}},
+		{"table4", func() error {
+			rows, err := bench.Table4(".")
+			if err != nil {
+				return err
+			}
+			bench.RenderTable4(out, rows)
+			return nil
+		}},
+		{"weak", func() error {
+			for _, b := range benches {
+				if b == "mm" {
+					continue // no weak set for MM in Table 1
+				}
+				pts, err := bench.Weak(b, o)
+				if err != nil {
+					return err
+				}
+				bench.RenderWeak(out, b, pts)
+				fmt.Fprintln(out)
+			}
+			return nil
+		}},
+		{"ablation", func() error {
+			rows, err := bench.Ablation(o)
+			if err != nil {
+				return err
+			}
+			bench.RenderAblation(out, rows)
+			return nil
+		}},
+		{"imbalance", func() error {
+			rows, err := bench.Imbalance(o)
+			if err != nil {
+				return err
+			}
+			bench.RenderImbalance(out, rows)
+			return nil
+		}},
+		{"faults", func() error {
+			rows, err := bench.Faults(o)
+			if err != nil {
+				return err
+			}
+			bench.RenderFaults(out, rows)
+			return nil
+		}},
+	}
+
+	// Validate -exp against the registry: a typo must fail loudly, not
+	// match nothing and exit clean.
+	if *exp != "all" {
+		known := false
+		for _, e := range experiments {
+			if e.name == *exp {
+				known = true
+				break
+			}
 		}
-		return nil
-	})
-	run("ablation", func() error {
-		rows, err := bench.Ablation(o)
-		if err != nil {
-			return err
+		if !known {
+			names := make([]string, 0, len(experiments))
+			for _, e := range experiments {
+				names = append(names, e.name)
+			}
+			fmt.Fprintf(os.Stderr, "gpmrbench: unknown experiment %q; valid: all %s\n",
+				*exp, strings.Join(names, " "))
+			os.Exit(2)
 		}
-		bench.RenderAblation(out, rows)
-		return nil
-	})
-	run("imbalance", func() error {
-		rows, err := bench.Imbalance(o)
-		if err != nil {
-			return err
+	}
+
+	for _, e := range experiments {
+		if *exp != "all" && *exp != e.name {
+			continue
 		}
-		bench.RenderImbalance(out, rows)
-		return nil
-	})
+		if err := e.run(); err != nil {
+			fmt.Fprintf(os.Stderr, "gpmrbench: %s: %v\n", e.name, err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(out)
+	}
 }

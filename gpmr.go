@@ -41,6 +41,7 @@ package gpmr
 import (
 	"repro/internal/core"
 	"repro/internal/des"
+	"repro/internal/fault"
 )
 
 // Core pipeline types, re-exported from the implementation package.
@@ -55,6 +56,10 @@ type (
 	Result[V any] = core.Result[V]
 	// Trace is a job's timing record.
 	Trace = core.Trace
+	// RankTrace is one GPU process's timestamps and counters.
+	RankTrace = core.RankTrace
+	// RecoveryStats aggregates fault recovery and speculation counters.
+	RecoveryStats = core.RecoveryStats
 	// Breakdown is a Figure-2-style runtime decomposition.
 	Breakdown = core.Breakdown
 	// StealPolicy selects the dynamic work queues' victim policy.
@@ -87,8 +92,27 @@ type (
 	// RadixSorter is the default CUDPP-radix Sorter.
 	RadixSorter = core.RadixSorter
 
+	// FaultPlan deterministically schedules GPU failures and straggler
+	// derating for a job (Config.Faults). See DESIGN.md, "Fault
+	// tolerance".
+	FaultPlan = fault.Plan
+	// FaultEvent is one scheduled fail-stop or straggler event.
+	FaultEvent = fault.Event
+
 	// Time is simulated time in nanoseconds.
 	Time = des.Time
+)
+
+// Fault injection helpers, re-exported from internal/fault.
+var (
+	// FailAt schedules a fail-stop of rank at a simulated time.
+	FailAt = fault.FailAt
+	// FailAfterChunks schedules a fail-stop after the rank's nth chunk.
+	FailAfterChunks = fault.FailAfterChunks
+	// SlowdownAt derates rank by factor from a simulated time onward.
+	SlowdownAt = fault.SlowdownAt
+	// SlowdownAfterChunks derates rank after its nth chunk.
+	SlowdownAfterChunks = fault.SlowdownAfterChunks
 )
 
 // DefaultStartup is the per-job spin-up the benchmark apps charge.

@@ -71,23 +71,9 @@ func Run(benchName string, size int64, gpus int, o Options) (des.Time, *core.Tra
 		tr := &core.Trace{Name: "mm", GPUs: gpus, Wall: tr1.Wall + tr2.Wall,
 			WireBytes: tr1.WireBytes + tr2.WireBytes, LocalBytes: tr1.LocalBytes + tr2.LocalBytes}
 		for i := range tr1.Ranks {
-			r1, r2 := tr1.Ranks[i], tr2.Ranks[i]
-			tr.Ranks = append(tr.Ranks, core.RankTrace{
-				MapDone:           r1.MapDone + r2.MapDone,
-				ShuffleDone:       r1.ShuffleDone + r2.ShuffleDone,
-				SortDone:          r1.SortDone + r2.SortDone,
-				ReduceDone:        r1.ReduceDone + r2.ReduceDone,
-				ChunksMapped:      r1.ChunksMapped + r2.ChunksMapped,
-				ChunksStolen:      r1.ChunksStolen + r2.ChunksStolen,
-				PairsEmitted:      r1.PairsEmitted + r2.PairsEmitted,
-				PairsReduced:      r1.PairsReduced + r2.PairsReduced,
-				OutOfCore:         r1.OutOfCore || r2.OutOfCore,
-				StolenBytes:       r1.StolenBytes + r2.StolenBytes,
-				LocalSteals:       r1.LocalSteals + r2.LocalSteals,
-				RemoteSteals:      r1.RemoteSteals + r2.RemoteSteals,
-				LocalStolenBytes:  r1.LocalStolenBytes + r2.LocalStolenBytes,
-				RemoteStolenBytes: r1.RemoteStolenBytes + r2.RemoteStolenBytes,
-			})
+			r := tr1.Ranks[i]
+			r.Add(tr2.Ranks[i])
+			tr.Ranks = append(tr.Ranks, r)
 		}
 		return tr.Wall, tr, nil
 	case "sio":

@@ -129,5 +129,12 @@ func New(eng *des.Engine, cfg Config) *Cluster {
 // NodeOfRank returns the node hosting the given rank.
 func (c *Cluster) NodeOfRank(r int) *Node { return c.Nodes[c.nodeOf[r]] }
 
+// Derate stretches rank r's GPU kernel and PCIe durations by factor
+// (>1 = slower) from now on — the straggler half of fault injection.
+func (c *Cluster) Derate(r int, factor float64) { c.GPUs[r].SetDerate(factor) }
+
+// DerateFactor returns rank r's current straggler factor (1 = nominal).
+func (c *Cluster) DerateFactor(r int) float64 { return c.GPUs[r].DerateFactor() }
+
 // Ranks returns the number of GPU processes.
 func (c *Cluster) Ranks() int { return len(c.GPUs) }

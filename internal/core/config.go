@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/des"
+	"repro/internal/fault"
 )
 
 // Config controls one GPMR job's pipeline shape and the cluster it runs on.
@@ -61,6 +62,23 @@ type Config struct {
 	// on-node when possible to spare the NICs. See DESIGN.md.
 	StealPolicy StealPolicy
 
+	// Faults optionally schedules deterministic fail-stop GPU failures and
+	// straggler derating (see internal/fault). A plan with fail-stops
+	// switches the scheduler into resilient mode: lost chunks are
+	// re-executed by survivors, a failed rank's reduce partition moves to
+	// a successor, and the job's functional output matches the
+	// failure-free run. Fail-stops require the streaming pipeline (no
+	// Accumulate, no Combiner); straggler-only plans work everywhere.
+	Faults *fault.Plan
+
+	// Speculate lets a rank that finds every queue empty launch a backup
+	// copy of a chunk still running elsewhere (the classic MapReduce
+	// answer to stragglers). The first copy to deliver its shuffle output
+	// wins; the loser's output is discarded and the loser abandons copies
+	// it has not yet mapped. Implies resilient scheduling, with the same
+	// streaming-pipeline requirement as Faults.
+	Speculate bool
+
 	// StealMinQueue is the minimum number of queued chunks a victim
 	// should hold to justify a shift (default 2: don't rob a queue of
 	// its only chunk — its owner will finish it sooner locally). For
@@ -70,6 +88,17 @@ type Config struct {
 	// when no queue anywhere meets it — better one shift than an idle
 	// GPU.
 	StealMinQueue int
+}
+
+// resilient reports whether the job needs the fault-tolerant scheduler:
+// chunk-completion tracking, re-queues on failure, and (optionally)
+// speculative backups. It costs a later end-of-map declaration — a rank
+// cannot announce "no more output" until every chunk is delivered, since
+// a failure might still assign it re-execution work — so it is on only
+// when fail-stops or speculation are in play; straggler-only plans just
+// derate devices and need none of it.
+func (c Config) resilient() bool {
+	return c.Speculate || c.Faults.HasFailStop()
 }
 
 // DefaultStartup is the per-job spin-up the benchmark applications charge,
@@ -95,6 +124,9 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.StealMinQueue <= 0 {
 		c.StealMinQueue = 2
+	}
+	if err := c.Faults.Validate(c.GPUs); err != nil {
+		return c, fmt.Errorf("core: %w", err)
 	}
 	if c.Cluster == nil {
 		cc := cluster.DefaultConfig(c.GPUs)

@@ -1,0 +1,346 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/des"
+	"repro/internal/fault"
+)
+
+// faultJob is the countJob fixture with an injection plan attached.
+func faultJob(data []uint32, gpus, nChunks int, plan *fault.Plan, speculate bool) *Job[uint32] {
+	j := countJob(data, gpus, nChunks)
+	j.Config.Faults = plan
+	j.Config.Speculate = speculate
+	return j
+}
+
+// assertSameOutput compares two gathered outputs byte-for-byte.
+func assertSameOutput(t *testing.T, a, b *Result[uint32]) {
+	t.Helper()
+	if a.Output.Len() != b.Output.Len() {
+		t.Fatalf("output sizes differ: %d vs %d", a.Output.Len(), b.Output.Len())
+	}
+	for i := range a.Output.Keys {
+		if a.Output.Keys[i] != b.Output.Keys[i] || a.Output.Vals[i] != b.Output.Vals[i] {
+			t.Fatalf("outputs diverge at pair %d: (%d,%d) vs (%d,%d)", i,
+				a.Output.Keys[i], a.Output.Vals[i], b.Output.Keys[i], b.Output.Vals[i])
+		}
+	}
+}
+
+func TestFailStopMidMapRecoversOutput(t *testing.T) {
+	data := smallData(20000, 700)
+	base := countJob(data, 8, 32).MustRun()
+	// Fail after the rank's third chunk: late enough that shuffle pairs
+	// have landed in its host memory (so the partition handoff carries
+	// real data), early enough that chunks remain to re-execute.
+	plan := &fault.Plan{Events: []fault.Event{fault.FailAfterChunks(2, 3)}}
+	res := faultJob(data, 8, 32, plan, false).MustRun()
+
+	assertSameOutput(t, base, res)
+	checkCounts(t, &res.Output, referenceCounts(data, 0))
+
+	tr := res.Trace
+	if !tr.Ranks[2].Failed {
+		t.Error("rank 2 not marked failed")
+	}
+	rec := tr.Recovery()
+	if rec.FailedRanks != 1 {
+		t.Errorf("FailedRanks=%d, want 1", rec.FailedRanks)
+	}
+	if rec.ChunksRecovered == 0 {
+		t.Error("no chunks re-executed despite a mid-map failure")
+	}
+	if rec.RecoveredBytes == 0 {
+		t.Error("no re-fetch bytes charged for recovered chunks")
+	}
+	if tr.Ranks[2].ChunksRecovered != 0 {
+		t.Error("the failed rank executed recovered chunks")
+	}
+	// By its third chunk the failed rank had accepted shuffle pairs; the
+	// handoff must have moved real data, not just the relay-done marker.
+	if tr.Ranks[2].RelayBytes <= endMsgBytes {
+		t.Errorf("failed rank relayed %d bytes; expected pair handoff beyond the marker", tr.Ranks[2].RelayBytes)
+	}
+	// Every chunk's output was delivered exactly once.
+	if rec.DupDropped != 0 {
+		t.Errorf("receivers dropped %d duplicate deliveries; exactly-once protocol leaked", rec.DupDropped)
+	}
+	mapped := 0
+	for _, r := range tr.Ranks {
+		mapped += r.ChunksMapped
+	}
+	// Lost chunks are mapped twice (once by the failed rank, once by a
+	// survivor), so total maps must exceed the chunk count.
+	if mapped <= 32 {
+		t.Errorf("mapped %d chunk executions, want > 32 (re-execution)", mapped)
+	}
+}
+
+func TestFailStopAtTimeZeroRecoversOutput(t *testing.T) {
+	data := smallData(10000, 300)
+	base := countJob(data, 4, 8).MustRun()
+	plan := &fault.Plan{Events: []fault.Event{fault.FailAt(1, 0)}}
+	res := faultJob(data, 4, 8, plan, false).MustRun()
+	assertSameOutput(t, base, res)
+	if got := res.Trace.Ranks[1].ChunksMapped; got != 0 {
+		t.Errorf("rank failed at t=0 still mapped %d chunks", got)
+	}
+}
+
+func TestTwoFailuresRecoverOutput(t *testing.T) {
+	data := smallData(20000, 500)
+	base := countJob(data, 8, 32).MustRun()
+	plan := &fault.Plan{Events: []fault.Event{
+		fault.FailAfterChunks(1, 1),
+		fault.FailAfterChunks(5, 2),
+	}}
+	res := faultJob(data, 8, 32, plan, false).MustRun()
+	assertSameOutput(t, base, res)
+	if rec := res.Trace.Recovery(); rec.FailedRanks != 2 {
+		t.Errorf("FailedRanks=%d, want 2", rec.FailedRanks)
+	}
+}
+
+func TestChainedSuccessorFailuresRecoverOutput(t *testing.T) {
+	// Rank 2 fails first; its partition moves to rank 3. Then rank 3 —
+	// the successor already holding two partitions — fails too, handing
+	// both (plus any relay stream it was owed) to rank 4.
+	data := smallData(20000, 500)
+	base := countJob(data, 8, 32).MustRun()
+	plan := &fault.Plan{Events: []fault.Event{
+		fault.FailAfterChunks(2, 1),
+		fault.FailAfterChunks(3, 2),
+	}}
+	res := faultJob(data, 8, 32, plan, false).MustRun()
+	assertSameOutput(t, base, res)
+	if rec := res.Trace.Recovery(); rec.FailedRanks != 2 {
+		t.Errorf("FailedRanks=%d, want 2", rec.FailedRanks)
+	}
+	// Both failed partitions must have produced output via their final
+	// owner: PerRank is indexed by partition and must be non-empty for
+	// every partition (RoundRobin spreads keys everywhere).
+	for part, pr := range res.PerRank {
+		if pr.Len() == 0 {
+			t.Errorf("partition %d produced no output after chained failures", part)
+		}
+	}
+}
+
+func TestFailureWhileStragglingRecoversOutput(t *testing.T) {
+	// A rank first becomes a straggler, then dies outright.
+	data := smallData(20000, 500)
+	base := countJob(data, 8, 32).MustRun()
+	plan := &fault.Plan{Events: []fault.Event{
+		fault.SlowdownAfterChunks(6, 1, 6),
+		fault.FailAfterChunks(6, 2),
+	}}
+	res := faultJob(data, 8, 32, plan, false).MustRun()
+	assertSameOutput(t, base, res)
+	tr := &res.Trace.Ranks[6]
+	if !tr.Failed || tr.Derated <= 1 {
+		t.Errorf("rank 6 state: failed=%v derated=%v", tr.Failed, tr.Derated)
+	}
+}
+
+func TestSpeculationImprovesStragglerMakespan(t *testing.T) {
+	data := smallData(40000, 1000)
+	plan := &fault.Plan{Events: []fault.Event{fault.SlowdownAfterChunks(3, 1, 16)}}
+	mk := func(spec bool) *Job[uint32] {
+		j := faultJob(data, 4, 16, plan, spec)
+		j.Config.VirtFactor = 4096 // compute-dominated, as the scaling test does
+		for i, c := range j.Chunks {
+			ic := c.(*intChunk)
+			j.Chunks[i] = &intChunk{data: ic.data, virt: int64(len(ic.data)) * 4 * 4096}
+		}
+		return j
+	}
+	slow := mk(false).MustRun()
+	spec := mk(true).MustRun()
+
+	assertSameOutput(t, slow, spec)
+	if spec.Trace.Wall >= slow.Trace.Wall {
+		t.Errorf("speculation did not improve makespan: %v (spec) vs %v (no spec)",
+			spec.Trace.Wall, slow.Trace.Wall)
+	}
+	rec := spec.Trace.Recovery()
+	if rec.SpecLaunched == 0 {
+		t.Error("no backup copies launched")
+	}
+	if rec.SpecWon == 0 {
+		t.Error("no backup copy won")
+	}
+	// Losing copies are either discarded after mapping or abandoned before.
+	if rec.ChunksWasted+rec.ChunksSkipped == 0 {
+		t.Error("straggler's twin copies neither wasted nor skipped")
+	}
+	if rec.DupDropped != 0 {
+		t.Errorf("receivers dropped %d duplicates; first-win protocol leaked", rec.DupDropped)
+	}
+}
+
+func TestFaultDeterminism(t *testing.T) {
+	// The reproducibility property the fault subsystem depends on: the
+	// same job with the same plan twice yields byte-identical traces —
+	// wall clock, fabric bytes, steal and recovery counters, everything.
+	data := smallData(20000, 700)
+	plan := &fault.Plan{Events: []fault.Event{
+		fault.FailAfterChunks(2, 1),
+		fault.SlowdownAfterChunks(5, 1, 8),
+	}}
+	run := func() *Result[uint32] { return faultJob(data, 8, 32, plan, true).MustRun() }
+	a, b := run(), run()
+	if a.Trace.Wall != b.Trace.Wall {
+		t.Errorf("wall time differs across runs: %v vs %v", a.Trace.Wall, b.Trace.Wall)
+	}
+	if a.Trace.WireBytes != b.Trace.WireBytes || a.Trace.LocalBytes != b.Trace.LocalBytes {
+		t.Errorf("fabric bytes differ: wire %d/%d local %d/%d",
+			a.Trace.WireBytes, b.Trace.WireBytes, a.Trace.LocalBytes, b.Trace.LocalBytes)
+	}
+	if !reflect.DeepEqual(a.Trace.Ranks, b.Trace.Ranks) {
+		t.Errorf("per-rank traces differ:\n%+v\nvs\n%+v", a.Trace.Ranks, b.Trace.Ranks)
+	}
+	assertSameOutput(t, a, b)
+
+	// And the fault run's output matches the no-fault run's.
+	assertSameOutput(t, a, countJob(data, 8, 32).MustRun())
+}
+
+func TestStragglerDerating(t *testing.T) {
+	data := smallData(20000, 500)
+	base := countJob(data, 4, 8).MustRun()
+	plan := &fault.Plan{Events: []fault.Event{fault.SlowdownAt(0, des.Microsecond, 8)}}
+	res := faultJob(data, 4, 8, plan, false).MustRun()
+	assertSameOutput(t, base, res)
+	if res.Trace.Wall <= base.Trace.Wall {
+		t.Errorf("derating rank 0 by 8x did not slow the job: %v vs %v",
+			res.Trace.Wall, base.Trace.Wall)
+	}
+	if res.Trace.Ranks[0].Derated != 8 {
+		t.Errorf("Derated=%v, want 8", res.Trace.Ranks[0].Derated)
+	}
+}
+
+func TestFailStopTimeSweep(t *testing.T) {
+	// Sweep the fail-stop instant across the whole job, including the
+	// awkward windows (failure while the final end markers are already
+	// queued ahead of the fault notification, failure post-shuffle):
+	// output must match the failure-free run at every injection time.
+	data := smallData(8000, 300)
+	base := countJob(data, 4, 8).MustRun()
+	ats := make([]des.Time, 0, 28)
+	for i := 0; i <= 24; i++ {
+		ats = append(ats, base.Trace.Wall*des.Time(i)/20) // up to 1.2x the makespan
+	}
+	// Surgical cases: the exact instants rank 2 receives its final end
+	// marker and closes its shuffle (the injector's wake-up is scheduled
+	// earlier, so it runs first at the same timestamp) — the window where
+	// the fault notification can land behind the already-queued ends and
+	// never be dequeued.
+	ats = append(ats, base.Trace.Ranks[2].ShuffleDone-1, base.Trace.Ranks[2].ShuffleDone, base.Trace.Ranks[2].ShuffleDone+1)
+	for _, at := range ats {
+		plan := &fault.Plan{Events: []fault.Event{fault.FailAt(2, at)}}
+		res := faultJob(data, 4, 8, plan, false).MustRun()
+		if res.Output.Len() != base.Output.Len() {
+			t.Fatalf("at=%v: output size %d, want %d", at, res.Output.Len(), base.Output.Len())
+		}
+		for j := range base.Output.Keys {
+			if base.Output.Keys[j] != res.Output.Keys[j] || base.Output.Vals[j] != res.Output.Vals[j] {
+				t.Fatalf("at=%v: output diverges at pair %d", at, j)
+			}
+		}
+	}
+}
+
+func TestStragglerOnlyPlanWorksWithAccumulate(t *testing.T) {
+	// Derating needs no recovery machinery, so straggler-only plans must
+	// be accepted by the Accumulation (and Combine) pipelines.
+	const keySpace = 256
+	data := smallData(20000, keySpace)
+	mk := func(plan *fault.Plan) *Job[uint32] {
+		return &Job[uint32]{
+			Config: Config{
+				Name: "count-accum", GPUs: 4, ValBytes: 4,
+				Accumulate: true, GatherOutput: true, Faults: plan,
+			},
+			Chunks:      makeChunks(data, 8, 1),
+			Mapper:      accumMapper{keySpace: keySpace},
+			Partitioner: RoundRobin{},
+			Reducer:     sumReducer{},
+		}
+	}
+	base := mk(nil).MustRun()
+	plan := &fault.Plan{Events: []fault.Event{fault.SlowdownAfterChunks(1, 1, 8)}}
+	res := mk(plan).MustRun()
+	checkCounts(t, &res.Output, referenceCounts(data, keySpace))
+	if res.Trace.Wall <= base.Trace.Wall {
+		t.Errorf("derating did not slow the accumulate job: %v vs %v", res.Trace.Wall, base.Trace.Wall)
+	}
+	if res.Trace.Recovery().FailedRanks != 0 {
+		t.Error("straggler-only plan produced failed ranks")
+	}
+}
+
+func TestResilientValidation(t *testing.T) {
+	data := smallData(1000, 50)
+
+	j := countJob(data, 4, 8)
+	j.Config.Speculate = true
+	j.Config.Accumulate = true
+	j.Mapper = accumMapper{keySpace: 50}
+	if _, err := j.Run(); err == nil {
+		t.Error("Speculate+Accumulate accepted")
+	}
+
+	j = countJob(data, 4, 8)
+	j.Config.Faults = &fault.Plan{Events: []fault.Event{fault.FailAt(0, 0)}}
+	j.Combiner = sumCombiner{}
+	if _, err := j.Run(); err == nil {
+		t.Error("Faults+Combiner accepted")
+	}
+
+	j = countJob(data, 4, 8)
+	j.Config.Faults = &fault.Plan{Events: []fault.Event{fault.FailAt(7, 0)}}
+	if _, err := j.Run(); err == nil {
+		t.Error("plan targeting rank outside the job accepted")
+	}
+}
+
+func TestSpeculateAloneKeepsOutput(t *testing.T) {
+	// Speculation with no fault: healthy runs may still launch backups at
+	// the tail; output must stay identical and every chunk deliver once.
+	data := smallData(20000, 700)
+	base := countJob(data, 4, 16).MustRun()
+	spec := faultJob(data, 4, 16, nil, true).MustRun()
+	assertSameOutput(t, base, spec)
+	if rec := spec.Trace.Recovery(); rec.DupDropped != 0 {
+		t.Errorf("duplicate deliveries reached reducers: %d", rec.DupDropped)
+	}
+}
+
+func TestCommAccountingCoversShuffle(t *testing.T) {
+	data := smallData(20000, 500)
+	res := countJob(data, 8, 16).MustRun()
+	var sentW, sentL, recvW, recvL int64
+	for _, r := range res.Trace.Ranks {
+		sentW += r.SentWireBytes
+		sentL += r.SentLocalBytes
+		recvW += r.RecvWireBytes
+		recvL += r.RecvLocalBytes
+	}
+	if sentW == 0 || sentL == 0 {
+		t.Fatalf("no communication recorded: wire=%d local=%d", sentW, sentL)
+	}
+	// Every send is eventually received, so the provenance must balance.
+	if sentW != recvW || sentL != recvL {
+		t.Errorf("sent/recv mismatch: wire %d vs %d, local %d vs %d", sentW, recvW, sentL, recvL)
+	}
+	// Sent bytes are a subset of total fabric traffic (which also counts
+	// scheduler chunk transfers that bypass rank sends).
+	if sentW > res.Trace.WireBytes || sentL > res.Trace.LocalBytes {
+		t.Errorf("rank-level sends (%d wire, %d local) exceed fabric totals (%d, %d)",
+			sentW, sentL, res.Trace.WireBytes, res.Trace.LocalBytes)
+	}
+}

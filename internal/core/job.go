@@ -34,8 +34,10 @@ type Result[V any] struct {
 	// Output is the gathered final pairs at rank 0 (rank order), when
 	// Config.GatherOutput is set.
 	Output keyval.Pairs[V]
-	// PerRank holds each rank's final pairs (reduce output, or the
-	// post-shuffle pairs when the job has no Reducer).
+	// PerRank holds each reduce partition's final pairs (reduce output,
+	// or the post-shuffle pairs when the job has no Reducer). Partition r
+	// is reduced by rank r unless a failure reassigned it to a successor;
+	// the slot is indexed by partition either way.
 	PerRank []keyval.Pairs[V]
 	Trace   *Trace
 }
@@ -53,6 +55,13 @@ func (j *Job[V]) Validate() error {
 	}
 	if j.Config.DisableSort && (j.Reducer != nil || j.Combiner != nil) {
 		return errors.New("core: DisableSort requires no Reducer and no Combiner")
+	}
+	if j.Config.resilient() && (j.Config.Accumulate || j.Combiner != nil) {
+		// Accumulation and Combine emit whole-rank (not per-chunk) output,
+		// so chunk-granular re-execution and exactly-once delivery do not
+		// apply to them. Straggler-only plans are fine: derating needs no
+		// recovery machinery.
+		return errors.New("core: fail-stop injection and speculation require the streaming pipeline (no Accumulation, no Combiner)")
 	}
 	return nil
 }
@@ -73,11 +82,13 @@ func (j *Job[V]) Run() (*Result[V], error) {
 		job:    j,
 		cfg:    cfg,
 		cl:     cl,
-		sched:  newScheduler(j.Chunks, cfg, cl.Fabric, j.Assign),
+		sched:  newScheduler(eng, j.Chunks, cfg, cl.Fabric, j.Assign),
 		traces: make([]RankTrace, cfg.GPUs),
 		outs:   make([]keyval.Pairs[V], cfg.GPUs),
 		gather: make([]*keyval.Pairs[V], cfg.GPUs),
+		ft:     newFaultState(cfg.GPUs),
 	}
+	rt.sched.derateOf = cl.DerateFactor
 	if j.Sorter == nil {
 		rt.sorter = RadixSorter{}
 	} else {
@@ -86,6 +97,7 @@ func (j *Job[V]) Run() (*Result[V], error) {
 	for r := 0; r < cfg.GPUs; r++ {
 		rt.spawnRank(eng, r)
 	}
+	rt.spawnInjectors(eng)
 	wall := eng.Run()
 
 	res := &Result[V]{
@@ -100,12 +112,15 @@ func (j *Job[V]) Run() (*Result[V], error) {
 		},
 	}
 	if cfg.GatherOutput {
-		for r := 0; r < cfg.GPUs; r++ {
+		// Concatenate in partition order; a partition reduced by a
+		// successor rank after a failure still lands in its own slot, so
+		// the gathered output is identical to a failure-free run.
+		for part := 0; part < cfg.GPUs; part++ {
 			var pr *keyval.Pairs[V]
-			if r == 0 {
-				pr = &rt.outs[0]
+			if rt.ft.owner[part] == 0 {
+				pr = &rt.outs[part]
 			} else {
-				pr = rt.gather[r]
+				pr = rt.gather[part]
 			}
 			if pr != nil {
 				res.Output.AppendPairs(pr)
@@ -132,6 +147,7 @@ type runtime[V any] struct {
 	sched  *scheduler
 	sorter Sorter
 	traces []RankTrace
-	outs   []keyval.Pairs[V]
-	gather []*keyval.Pairs[V] // rank 0's gathered outputs, by source rank
+	outs   []keyval.Pairs[V]  // final pairs by reduce partition
+	gather []*keyval.Pairs[V] // rank 0's gathered outputs, by partition
+	ft     faultState
 }

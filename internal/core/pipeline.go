@@ -14,10 +14,34 @@ const (
 	tagPairs = "pairs"
 	tagEnd   = "end"
 	tagOut   = "out"
+	// tagFault tells a rank's own reduce loop that its GPU just died, so
+	// its surviving host process hands its partition state to the
+	// successor (see recovery.go).
+	tagFault = "fault"
+	// tagRelayDone marks the end of a failed rank's relay stream; the
+	// successor must not close its shuffle before receiving it.
+	tagRelayDone = "relaydone"
 )
 
 // endMsgBytes is the virtual size of an end-of-stream control message.
 const endMsgBytes = 64
+
+// shufMsg is one shuffle delivery: chunk identifies the producing map
+// chunk (-1 for the non-chunked Accumulation/Combine paths) and part the
+// destination reduce partition — together the exactly-once key that lets
+// receivers drop duplicate deliveries from speculative twins.
+type shufMsg[V any] struct {
+	chunk int
+	part  int
+	pairs *keyval.Pairs[V]
+}
+
+// outMsg carries one reduce partition's final pairs to rank 0 during the
+// gather; partition identity survives reassignment to a successor rank.
+type outMsg[V any] struct {
+	part  int
+	pairs *keyval.Pairs[V]
+}
 
 // binKind discriminates messages from the map process to the bin process.
 type binKind int
@@ -35,11 +59,15 @@ type binMsg[V any] struct {
 	buf       *gpu.Buffer // device emit buffer to release after D2H
 	virtBytes int64       // D2H transfer size
 	pairs     *keyval.Pairs[V]
+	chunk     int  // producing chunk index (-1 for non-chunked paths)
+	spec      bool // output of a speculative backup copy
 }
 
 type loadedChunk struct {
-	chunk Chunk
-	buf   *gpu.Buffer
+	chunk       Chunk
+	buf         *gpu.Buffer
+	idx         int
+	speculative bool
 }
 
 // rankState wires one GPU process's sub-processes together.
@@ -57,8 +85,10 @@ type rankState[V any] struct {
 	hostCombine  keyval.Pairs[V]
 	combineReady *des.Signal
 
-	shuffle  keyval.Pairs[V]
-	sortedIn bool // sorted pairs resident on device (in-core path)
+	recvd    []shufMsg[V]    // accepted shuffle deliveries, arrival order
+	seen     map[[2]int]bool // (chunk, part) exactly-once guard
+	shuffle  keyval.Pairs[V] // partition being sorted/reduced
+	sortedIn bool            // sorted pairs resident on device (in-core path)
 	devPairs *gpu.Buffer
 }
 
@@ -72,6 +102,7 @@ func (rt *runtime[V]) spawnRank(eng *des.Engine, rank int) {
 		binQ:      des.NewQueue(eng, fmt.Sprintf("r%d.bin", rank)),
 		slots:     des.NewResource(eng, fmt.Sprintf("r%d.slots", rank), rt.cfg.PipelineDepth),
 		emitSlots: des.NewResource(eng, fmt.Sprintf("r%d.emitslots", rank), rt.cfg.PipelineDepth),
+		seen:      make(map[[2]int]bool),
 	}
 	st.mctx = &MapContext[V]{
 		Rank:       rank,
@@ -88,6 +119,29 @@ func (rt *runtime[V]) spawnRank(eng *des.Engine, rank int) {
 	eng.Spawn(fmt.Sprintf("r%d.reduce", rank), st.reduceProc)
 }
 
+// dead reports whether this rank's GPU has fail-stopped.
+func (st *rankState[V]) dead() bool { return st.rt.ft.failed[st.rank] }
+
+// send transmits over the fabric, recording per-rank sent-byte provenance
+// (wire vs intra-node) in the trace.
+func (st *rankState[V]) send(p *des.Proc, to int, tag string, virtBytes int64, payload any) {
+	if st.rt.cl.Fabric.SameNode(st.rank, to) {
+		st.tr.SentLocalBytes += virtBytes
+	} else {
+		st.tr.SentWireBytes += virtBytes
+	}
+	st.rt.cl.Fabric.Send(p, st.rank, to, tag, virtBytes, payload)
+}
+
+// countRecv records received-byte provenance for one delivery.
+func (st *rankState[V]) countRecv(from int, virtBytes int64) {
+	if st.rt.cl.Fabric.SameNode(from, st.rank) {
+		st.tr.RecvLocalBytes += virtBytes
+	} else {
+		st.tr.RecvWireBytes += virtBytes
+	}
+}
+
 // loaderProc streams chunks onto the GPU, overlapping the H2D copy of the
 // next chunk with the map of the current one (bounded by PipelineDepth).
 func (st *rankState[V]) loaderProc(p *des.Proc) {
@@ -95,15 +149,22 @@ func (st *rankState[V]) loaderProc(p *des.Proc) {
 		p.Sleep(st.rt.cfg.Startup)
 	}
 	for {
-		chunk, stolenFrom, ok := st.rt.sched.next(p, st.rank)
+		a, ok := st.rt.sched.next(p, st.rank)
 		if !ok {
 			st.loadedQ.Put(loadedChunk{})
 			return
 		}
-		if stolenFrom >= 0 {
+		chunk := a.chunk
+		switch {
+		case a.speculative:
+			st.tr.SpecLaunched++
+		case a.recoveredFrom >= 0:
+			st.tr.ChunksRecovered++
+			st.tr.RecoveredBytes += chunk.VirtBytes()
+		case a.stolenFrom >= 0:
 			st.tr.ChunksStolen++
 			st.tr.StolenBytes += chunk.VirtBytes()
-			if st.rt.cl.Fabric.SameNode(stolenFrom, st.rank) {
+			if st.rt.cl.Fabric.SameNode(a.stolenFrom, st.rank) {
 				st.tr.LocalSteals++
 				st.tr.LocalStolenBytes += chunk.VirtBytes()
 			} else {
@@ -114,7 +175,7 @@ func (st *rankState[V]) loaderProc(p *des.Proc) {
 		st.slots.Acquire(p, 1)
 		buf := st.dev.MustAlloc("chunk", chunk.VirtBytes(), nil)
 		st.dev.CopyToDevice(p, chunk.VirtBytes(), nil)
-		st.loadedQ.Put(loadedChunk{chunk: chunk, buf: buf})
+		st.loadedQ.Put(loadedChunk{chunk: chunk, buf: buf, idx: a.idx, speculative: a.speculative})
 	}
 }
 
@@ -128,9 +189,32 @@ func (st *rankState[V]) mapProc(p *des.Proc) {
 		if item.chunk == nil {
 			break
 		}
+		if st.dead() {
+			// The GPU is gone; the scheduler already requeued this chunk
+			// for re-execution by a survivor.
+			item.buf.Free()
+			st.slots.Release(1)
+			continue
+		}
+		if rt.resilient() && rt.sched.isDone(item.idx) {
+			// A twin copy already delivered this chunk: abandon it unmapped.
+			st.tr.ChunksSkipped++
+			item.buf.Free()
+			st.slots.Release(1)
+			continue
+		}
 		st.mctx.out.Reset()
 		rt.job.Mapper.Map(st.mctx, item.chunk)
 		st.tr.ChunksMapped++
+		rt.afterChunk(p, st.rank, st.tr.ChunksMapped)
+		if st.dead() {
+			// A chunk-count trigger just killed this GPU: the chunk's
+			// freshly mapped output dies in device memory with it.
+			st.mctx.out.Reset()
+			item.buf.Free()
+			st.slots.Release(1)
+			continue
+		}
 		if rt.job.PartialReducer != nil {
 			rt.job.PartialReducer.PartialReduce(st.mctx, &st.mctx.out)
 		}
@@ -147,14 +231,14 @@ func (st *rankState[V]) mapProc(p *des.Proc) {
 			st.stageToHost(p, out)
 			continue
 		}
-		st.partitionAndBin(p, out)
+		st.partitionAndBin(p, out, item.idx, item.speculative)
 	}
 
 	if rt.cfg.Accumulate {
 		res := st.mctx.resident
 		st.mctx.resident = keyval.Pairs[V]{}
 		st.tr.PairsEmitted += res.VirtLen()
-		st.partitionAndBin(p, res)
+		st.partitionAndBin(p, res, -1, false)
 	}
 	if rt.job.Combiner != nil {
 		st.binQ.Put(binMsg[V]{kind: binEndMaps})
@@ -184,8 +268,9 @@ func (st *rankState[V]) stageToHost(p *des.Proc, out keyval.Pairs[V]) {
 }
 
 // partitionAndBin runs the Partition substage on the GPU and hands the
-// buckets to the bin process.
-func (st *rankState[V]) partitionAndBin(p *des.Proc, out keyval.Pairs[V]) {
+// buckets to the bin process, tagged with the producing chunk for the
+// exactly-once delivery protocol.
+func (st *rankState[V]) partitionAndBin(p *des.Proc, out keyval.Pairs[V], chunkIdx int, spec bool) {
 	rt := st.rt
 	n := rt.cfg.GPUs
 	vb := out.VirtBytes(rt.cfg.ValBytes)
@@ -193,7 +278,7 @@ func (st *rankState[V]) partitionAndBin(p *des.Proc, out keyval.Pairs[V]) {
 		// Nothing to partition: skip the kernel (it would launch with zero
 		// threads) and hand the bin process empty buckets so it still sees
 		// one message per chunk.
-		st.binQ.Put(binMsg[V]{kind: binBuckets, buckets: make([]keyval.Pairs[V], n)})
+		st.binQ.Put(binMsg[V]{kind: binBuckets, buckets: make([]keyval.Pairs[V], n), chunk: chunkIdx, spec: spec})
 		return
 	}
 	var buckets []keyval.Pairs[V]
@@ -223,7 +308,7 @@ func (st *rankState[V]) partitionAndBin(p *des.Proc, out keyval.Pairs[V]) {
 	}
 	st.emitSlots.Acquire(p, 1)
 	buf := st.dev.MustAlloc("emit", vb, nil)
-	st.binQ.Put(binMsg[V]{kind: binBuckets, buckets: buckets, buf: buf, virtBytes: vb})
+	st.binQ.Put(binMsg[V]{kind: binBuckets, buckets: buckets, buf: buf, virtBytes: vb, chunk: chunkIdx, spec: spec})
 }
 
 // combineTail streams the host-staged pairs back through the GPU in
@@ -281,7 +366,7 @@ func (st *rankState[V]) combineTail(p *des.Proc) {
 		rt.job.Combiner.Combine(st.mctx, piece.Keys, segs, piece.Vals)
 		out := st.takeEmitted()
 		buf.Free()
-		st.partitionAndBin(p, out)
+		st.partitionAndBin(p, out, -1, false)
 	}
 }
 
@@ -289,6 +374,13 @@ func (st *rankState[V]) combineTail(p *des.Proc) {
 // PCIe, stages them with a CPU core, and transmits each reducer's bucket
 // with one send — all overlapped with the map process unless the job uses
 // Accumulation or a Combiner.
+//
+// In resilient mode, dequeuing a binBuckets message is a chunk's commit
+// point: from here the host process owns the staged data and delivers
+// every bucket exactly once (to the partition owners current at each
+// send), even if the GPU dies mid-drain. Messages still queued when the
+// GPU fails represent emit buffers lost in device memory — they are
+// discarded and the scheduler's requeue covers their re-execution.
 func (st *rankState[V]) binProc(p *des.Proc) {
 	rt := st.rt
 	node := rt.cl.NodeOfRank(st.rank)
@@ -302,12 +394,29 @@ func (st *rankState[V]) binProc(p *des.Proc) {
 			st.emitSlots.Release(1)
 			st.hostCombine.AppendPairs(msg.pairs)
 		case binBuckets:
+			if st.dead() {
+				if msg.buf != nil {
+					msg.buf.Free()
+					st.emitSlots.Release(1)
+				}
+				break
+			}
 			if msg.buf != nil {
 				if !rt.cfg.GPUDirect {
 					st.dev.CopyToHost(p, msg.virtBytes, nil)
 				}
 				msg.buf.Free()
 				st.emitSlots.Release(1)
+			}
+			if rt.resilient() && msg.chunk >= 0 {
+				if !rt.sched.complete(msg.chunk, st.rank) {
+					// A twin copy delivered first: discard this output.
+					st.tr.ChunksWasted++
+					break
+				}
+				if msg.spec {
+					st.tr.SpecWon++
+				}
 			}
 			for dst := range msg.buckets {
 				b := &msg.buckets[dst]
@@ -319,7 +428,7 @@ func (st *rankState[V]) binProc(p *des.Proc) {
 					node.CPUTime(p, 1, des.FromSeconds(float64(bb)/node.Props.MemcpyPerCore))
 				}
 				payload := *b
-				rt.cl.Fabric.Send(p, st.rank, dst, tagPairs, bb, &payload)
+				st.send(p, rt.ownerOf(dst), tagPairs, bb, &shufMsg[V]{chunk: msg.chunk, part: dst, pairs: &payload})
 			}
 		case binEndMaps:
 			if st.combineReady != nil {
@@ -327,50 +436,140 @@ func (st *rankState[V]) binProc(p *des.Proc) {
 			}
 		case binFinalEnd:
 			for dst := 0; dst < rt.cfg.GPUs; dst++ {
-				rt.cl.Fabric.Send(p, st.rank, dst, tagEnd, endMsgBytes, nil)
+				st.send(p, dst, tagEnd, endMsgBytes, nil)
 			}
 			return
 		}
 	}
 }
 
-// reduceProc receives this rank's shuffle partition, runs Sort (in-core on
-// the GPU when it fits, external with host merge when it does not), then
-// the chunked Reduce, and finally participates in the output gather.
+// acceptShuffle records one delivery, dropping duplicates from
+// speculative twins (the (chunk, partition) key is unique per delivery).
+func (st *rankState[V]) acceptShuffle(sm *shufMsg[V]) {
+	if st.rt.resilient() && sm.chunk >= 0 {
+		k := [2]int{sm.chunk, sm.part}
+		if st.seen[k] {
+			st.tr.DupDropped++
+			return
+		}
+		st.seen[k] = true
+	}
+	st.recvd = append(st.recvd, *sm)
+}
+
+// relay forwards one shuffle delivery to its partition's current owner —
+// the failed rank's host process acting as a proxy for in-flight and
+// handed-off traffic.
+func (st *rankState[V]) relay(p *des.Proc, sm *shufMsg[V]) {
+	bytes := sm.pairs.VirtBytes(st.rt.cfg.ValBytes)
+	st.tr.RelayBytes += bytes
+	st.send(p, st.rt.ft.owner[sm.part], tagPairs, bytes, sm)
+}
+
+// handoff ships everything this now-failed rank had accepted for its
+// partitions to their new owner. The GPU is gone but received shuffle
+// pairs live in host memory until Sort, so they move over the fabric once
+// instead of being re-executed.
+func (st *rankState[V]) handoff(p *des.Proc) {
+	for i := range st.recvd {
+		st.relay(p, &st.recvd[i])
+	}
+	st.recvd = nil
+}
+
+// reduceProc receives this rank's shuffle partitions, runs Sort (in-core
+// on the GPU when it fits, external with host merge when it does not),
+// then the chunked Reduce, and finally participates in the output gather.
+// A rank whose GPU failed keeps the loop alive as a host-side proxy:
+// deliveries for reassigned partitions are relayed to their new owner,
+// and the loop still terminates on the usual end markers (every host
+// process sends them, dead GPU or not).
 func (st *rankState[V]) reduceProc(p *des.Proc) {
 	rt := st.rt
 	n := rt.cfg.GPUs
 	ends := 0
-	for ends < n {
+	for ends < n || rt.ft.relayDone[st.rank] < rt.ft.pendingRelay[st.rank] {
 		msg := rt.cl.Fabric.Recv(p, st.rank)
+		st.countRecv(msg.From, msg.VirtBytes)
 		switch msg.Tag {
 		case tagPairs:
-			st.shuffle.AppendPairs(msg.Payload.(*keyval.Pairs[V]))
+			sm := msg.Payload.(*shufMsg[V])
+			if st.dead() && rt.ft.owner[sm.part] != st.rank {
+				st.relay(p, sm)
+				break
+			}
+			st.acceptShuffle(sm)
 		case tagEnd:
 			ends++
 		case tagOut:
-			rt.gather[msg.From] = msg.Payload.(*keyval.Pairs[V])
+			om := msg.Payload.(*outMsg[V])
+			rt.gather[om.part] = om.pairs
+		case tagFault:
+			st.handoff(p)
+		case tagRelayDone:
+			// Addressed to this rank as a failure's direct successor;
+			// counts even if this rank died later — its own exit marker
+			// summarizes everything its proxy loop forwarded meanwhile.
+			rt.ft.relayDone[st.rank]++
 		}
 	}
+	rt.ft.closed[st.rank] = true
 	st.tr.ShuffleDone = p.Now()
 
-	if rt.cfg.DisableSort {
-		rt.outs[st.rank] = st.shuffle
+	if st.dead() && len(rt.partitionsOf(st.rank)) == 0 {
+		// Ensure the handoff ran: when the failure fired with the final
+		// end marker already queued ahead of the tagFault notification,
+		// the loop drained the ends and exited without ever dequeuing it
+		// — the accepted pairs must still reach the successor. (No-op if
+		// tagFault was processed normally; recvd is already nil then.)
+		st.handoff(p)
+		// Every sender has ended and every relay stream owed to this
+		// rank has terminated, so nothing more can arrive to forward:
+		// close this rank's own relay stream for its direct successor.
+		st.tr.RelayBytes += endMsgBytes
+		st.send(p, rt.ft.relayTo[st.rank], tagRelayDone, endMsgBytes, nil)
 		st.tr.SortDone = p.Now()
 		st.tr.ReduceDone = p.Now()
 		st.gatherPhase(p)
 		return
 	}
 
-	segs := st.sortStage(p)
-	st.tr.SortDone = p.Now()
-	st.reduceStage(p, segs)
-	st.tr.ReduceDone = p.Now()
-	if st.devPairs != nil {
-		st.devPairs.Free()
-		st.devPairs = nil
+	if rt.cfg.DisableSort {
+		for _, part := range rt.partitionsOf(st.rank) {
+			rt.outs[part] = st.mergedPartition(part)
+		}
+		st.tr.SortDone = p.Now()
+		st.tr.ReduceDone = p.Now()
+		st.gatherPhase(p)
+		return
 	}
+
+	for _, part := range rt.partitionsOf(st.rank) {
+		st.shuffle = st.mergedPartition(part)
+		segs := st.sortStage(p)
+		st.tr.SortDone = p.Now()
+		st.reduceStage(p, segs, part)
+		st.tr.ReduceDone = p.Now()
+		if st.devPairs != nil {
+			st.devPairs.Free()
+			st.devPairs = nil
+		}
+	}
+	st.recvd = nil
 	st.gatherPhase(p)
+}
+
+// mergedPartition concatenates this rank's accepted deliveries for one
+// partition in arrival order — exactly what the pipeline built by
+// appending on receipt before partitions could be reassigned.
+func (st *rankState[V]) mergedPartition(part int) keyval.Pairs[V] {
+	var out keyval.Pairs[V]
+	for i := range st.recvd {
+		if st.recvd[i].part == part {
+			out.AppendPairs(st.recvd[i].pairs)
+		}
+	}
+	return out
 }
 
 // sortStage sorts the received pairs. In-core: one H2D, device radix sort,
@@ -437,11 +636,12 @@ func (st *rankState[V]) sortStage(p *des.Proc) []cudpp.Segment {
 }
 
 // reduceStage runs the user's Reducer over the sorted pairs in value-set
-// chunks sized by the ChunkValueSets callback.
-func (st *rankState[V]) reduceStage(p *des.Proc, segs []cudpp.Segment) {
+// chunks sized by the ChunkValueSets callback, writing the output under
+// the partition's identity (stable across owner reassignment).
+func (st *rankState[V]) reduceStage(p *des.Proc, segs []cudpp.Segment, part int) {
 	rt := st.rt
 	if rt.job.Reducer == nil {
-		rt.outs[st.rank] = st.shuffle
+		rt.outs[part] = st.shuffle
 		return
 	}
 	if len(segs) == 0 {
@@ -484,22 +684,33 @@ func (st *rankState[V]) reduceStage(p *des.Proc, segs []cudpp.Segment) {
 		st.tr.PairsReduced += virtShare
 		if out.Len() > 0 || out.VirtLen() > 0 {
 			st.dev.CopyToHost(p, out.VirtBytes(valBytes), nil)
-			rt.outs[st.rank].AppendPairs(&out)
+			rt.outs[part].AppendPairs(&out)
 		}
 		idx += take
 	}
 }
 
-// gatherPhase ships every rank's output to rank 0 when configured.
+// gatherPhase ships every partition's output to rank 0 when configured.
+// Each rank sends one message per partition it owns, so a reassigned
+// partition still arrives under its own identity and the gathered output
+// concatenates in partition order regardless of failures.
 func (st *rankState[V]) gatherPhase(p *des.Proc) {
 	rt := st.rt
 	if !rt.cfg.GatherOutput || rt.cfg.GPUs == 1 {
 		return
 	}
 	if st.rank != 0 {
-		out := rt.outs[st.rank]
-		rt.cl.Fabric.Send(p, st.rank, 0, tagOut, out.VirtBytes(rt.cfg.ValBytes), &out)
+		for _, part := range rt.partitionsOf(st.rank) {
+			out := &rt.outs[part]
+			st.send(p, 0, tagOut, out.VirtBytes(rt.cfg.ValBytes), &outMsg[V]{part: part, pairs: out})
+		}
 		return
+	}
+	expect := 0
+	for part := 0; part < rt.cfg.GPUs; part++ {
+		if rt.ft.owner[part] != 0 {
+			expect++
+		}
 	}
 	have := 0
 	for _, g := range rt.gather {
@@ -507,12 +718,18 @@ func (st *rankState[V]) gatherPhase(p *des.Proc) {
 			have++
 		}
 	}
-	for have < rt.cfg.GPUs-1 {
+	for have < expect {
 		msg := rt.cl.Fabric.Recv(p, 0)
-		if msg.Tag != tagOut {
+		st.countRecv(msg.From, msg.VirtBytes)
+		switch msg.Tag {
+		case tagOut:
+			om := msg.Payload.(*outMsg[V])
+			rt.gather[om.part] = om.pairs
+			have++
+		case tagFault, tagRelayDone:
+			// Stale control traffic from a post-shuffle injection; ignore.
+		default:
 			panic("core: unexpected message during gather: " + msg.Tag)
 		}
-		rt.gather[msg.From] = msg.Payload.(*keyval.Pairs[V])
-		have++
 	}
 }

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+	"repro/internal/fault"
+)
+
+// faultState is the runtime's fault bookkeeping. The model (see
+// internal/fault): the *GPU* fail-stops while the host-side rank process
+// survives, so input chunks queued to the rank and shuffle pairs it has
+// received remain reachable and move over the fabric during recovery;
+// only device-resident state (in-flight maps, undrained emit buffers) is
+// lost and re-executed.
+type faultState struct {
+	failed []bool
+	// owner maps each reduce partition to the rank currently owning it
+	// (identity until a failure reassigns a partition to a successor).
+	owner  []int
+	closed []bool // rank's shuffle receive loop has exited
+	// relayTo records each failed rank's direct successor at failure
+	// time (-1 while alive). The failed rank's relay-done marker is
+	// addressed there — NOT to the partitions' current owner — so that
+	// in a chain of failures each dead proxy stays in its receive loop
+	// until the streams it is owed terminate, and its own exit marker
+	// then summarizes everything it ever forwarded. Markers and data
+	// share FIFO fabric paths, so a successor that has its marker has
+	// all the data.
+	relayTo []int
+	// pendingRelay counts the relay-done markers a rank must await
+	// before closing its shuffle (one per failure it directly
+	// succeeded); relayDone counts those received. They live here (not
+	// in rankState) so the failure handler can update them atomically
+	// with the ownership move.
+	pendingRelay []int
+	relayDone    []int
+	chunkTrig    []fault.Event // events with chunk-count triggers
+}
+
+func newFaultState(n int) faultState {
+	fs := faultState{
+		failed:       make([]bool, n),
+		owner:        make([]int, n),
+		closed:       make([]bool, n),
+		relayTo:      make([]int, n),
+		pendingRelay: make([]int, n),
+		relayDone:    make([]int, n),
+	}
+	for i := range fs.owner {
+		fs.owner[i] = i
+		fs.relayTo[i] = -1
+	}
+	return fs
+}
+
+// resilient reports whether fault tolerance is active for this run.
+func (rt *runtime[V]) resilient() bool { return rt.cfg.resilient() }
+
+// ownerOf returns the rank currently owning a reduce partition.
+func (rt *runtime[V]) ownerOf(part int) int { return rt.ft.owner[part] }
+
+// partitionsOf lists the partitions a rank currently owns, ascending, so
+// per-partition sort/reduce and gather run in a deterministic order.
+func (rt *runtime[V]) partitionsOf(rank int) []int {
+	var parts []int
+	for part, o := range rt.ft.owner {
+		if o == rank {
+			parts = append(parts, part)
+		}
+	}
+	return parts
+}
+
+// successor picks the rank that inherits a failed rank's partitions: the
+// next live rank (wrapping) whose shuffle is still open, or -1 when every
+// other shuffle has closed (by then all map output is delivered and no
+// handoff is needed).
+func (rt *runtime[V]) successor(f int) int {
+	n := rt.cfg.GPUs
+	for i := 1; i < n; i++ {
+		r := (f + i) % n
+		if !rt.ft.failed[r] && !rt.ft.closed[r] {
+			return r
+		}
+	}
+	return -1
+}
+
+// failRank applies a fail-stop to rank f at the current simulated time:
+//
+//  1. The scheduler requeues f's queued and running (undelivered) chunks
+//     to the survivors, which re-execute them (charging input re-fetch
+//     from f's node over the fabric, like a steal).
+//  2. f's reduce partitions are reassigned to a successor; the
+//     partitioner's output is redirected at every sender from now on.
+//  3. f's reduce loop is told (via a control message) to relay its
+//     host-resident shuffle state — and any still-in-flight deliveries —
+//     to the successor, closing with a relay-done marker the successor
+//     waits for before declaring its shuffle complete.
+//
+// Together with the bin process's commit-on-dequeue rule this delivers
+// every (chunk, partition) bucket exactly once, so the job's functional
+// output is identical to a failure-free run.
+func (rt *runtime[V]) failRank(p *des.Proc, f int) {
+	if rt.ft.failed[f] {
+		return
+	}
+	rt.ft.failed[f] = true
+	rt.traces[f].Failed = true
+	rt.traces[f].FailedAt = p.Now()
+	rt.sched.fail(f)
+	if rt.ft.closed[f] {
+		// Post-shuffle injection: f's map output is fully delivered and
+		// its partition already staged host-side; recorded, no recovery.
+		return
+	}
+	s := rt.successor(f)
+	if s < 0 {
+		// Every other shuffle closed, so nothing can still be in flight;
+		// f keeps its partitions and its host-staged data is processed
+		// as if the failure hit after the rank's work.
+		return
+	}
+	for part, o := range rt.ft.owner {
+		if o == f {
+			rt.ft.owner[part] = s
+		}
+	}
+	// The successor must wait for f's relay-done marker before closing
+	// its shuffle. f itself keeps waiting for any markers it is still
+	// owed from failures it succeeded earlier — its proxy loop forwards
+	// that traffic and its own marker then covers all of it.
+	rt.ft.relayTo[f] = s
+	rt.ft.pendingRelay[s]++
+	rt.cl.Fabric.Send(p, f, f, tagFault, endMsgBytes, nil)
+}
+
+// applyFault executes one injection-plan event.
+func (rt *runtime[V]) applyFault(p *des.Proc, ev fault.Event) {
+	switch ev.Kind {
+	case fault.FailStop:
+		rt.failRank(p, ev.Rank)
+	case fault.Straggler:
+		rt.cl.Derate(ev.Rank, ev.Factor)
+		if ev.Factor > rt.traces[ev.Rank].Derated {
+			rt.traces[ev.Rank].Derated = ev.Factor
+		}
+	}
+}
+
+// afterChunk fires chunk-count triggers: rank just finished mapping its
+// nth chunk. Called from the rank's own map process, so a fail-stop takes
+// effect before the chunk's output leaves the GPU.
+func (rt *runtime[V]) afterChunk(p *des.Proc, rank, n int) {
+	for _, ev := range rt.ft.chunkTrig {
+		if ev.Rank == rank && ev.AfterChunks == n {
+			rt.applyFault(p, ev)
+		}
+	}
+}
+
+// spawnInjectors schedules the plan's time-triggered events as simulated
+// processes and registers the chunk-count triggers.
+func (rt *runtime[V]) spawnInjectors(eng *des.Engine) {
+	if rt.cfg.Faults.Empty() {
+		return
+	}
+	for _, ev := range rt.cfg.Faults.Events {
+		if ev.AfterChunks > 0 {
+			rt.ft.chunkTrig = append(rt.ft.chunkTrig, ev)
+			continue
+		}
+		ev := ev
+		eng.Spawn(fmt.Sprintf("fault.inject.r%d", ev.Rank), func(p *des.Proc) {
+			p.Sleep(ev.At)
+			rt.applyFault(p, ev)
+		})
+	}
+}

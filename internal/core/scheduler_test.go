@@ -29,7 +29,7 @@ func schedFixture(policy StealPolicy, minQueue int, queues [4]int, chunkBytes in
 		}
 	}
 	cfg := Config{GPUs: 4, StealPolicy: policy, StealMinQueue: minQueue}
-	s := newScheduler(chunks, cfg, fab, func(c int) int { return owner[c] })
+	s := newScheduler(eng, chunks, cfg, fab, func(c int) int { return owner[c] })
 	return eng, fab, s
 }
 
@@ -38,7 +38,8 @@ func schedFixture(policy StealPolicy, minQueue int, queues [4]int, chunkBytes in
 func stealOnce(eng *des.Engine, s *scheduler, thief int) int {
 	victim := -2
 	eng.Spawn("thief", func(p *des.Proc) {
-		_, victim, _ = s.next(p, thief)
+		a, _ := s.next(p, thief)
+		victim = a.stolenFrom
 	})
 	eng.Run()
 	return victim
@@ -132,7 +133,7 @@ func TestStealExhaustion(t *testing.T) {
 	}{{eng, s}, {eng2, s2}} {
 		var ok bool
 		tc.eng.Spawn("thief", func(p *des.Proc) {
-			_, _, ok = tc.s.next(p, 0)
+			_, ok = tc.s.next(p, 0)
 		})
 		tc.eng.Run()
 		if ok {

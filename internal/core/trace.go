@@ -33,6 +33,78 @@ type RankTrace struct {
 	RemoteSteals      int
 	LocalStolenBytes  int64
 	RemoteStolenBytes int64
+
+	// Communication accounting at the fabric boundary (virtual bytes):
+	// every message this rank handed to or received from the fabric,
+	// split wire (cross-node) vs local (intra-node shared memory). Steal
+	// and recovery re-fetch transfers are charged by the scheduler and
+	// tracked by the steal/recovery counters, not here.
+	SentWireBytes  int64
+	SentLocalBytes int64
+	RecvWireBytes  int64
+	RecvLocalBytes int64
+
+	// Fault state, set by the injection plan (internal/fault).
+	Failed   bool
+	FailedAt des.Time
+	Derated  float64 // straggler factor (0 = nominal)
+
+	// Recovery: re-executions of a failed rank's lost chunks that this
+	// rank ran, their input re-fetch traffic, and — on the failed rank
+	// itself — the partition-handoff bytes its surviving host process
+	// re-sent to the successor.
+	ChunksRecovered int
+	RecoveredBytes  int64
+	RelayBytes      int64
+
+	// Speculation: backup copies this rank launched, how many delivered
+	// first, chunk executions whose output was discarded because a twin
+	// delivered first, copies abandoned before mapping, and duplicate
+	// shuffle deliveries dropped by this rank's receiver (defense in
+	// depth; the win/lose protocol makes duplicates unreachable).
+	SpecLaunched  int
+	SpecWon       int
+	ChunksWasted  int
+	ChunksSkipped int
+	DupDropped    int
+}
+
+// Add accumulates o's timestamps and counters into t. It exists to fold
+// multi-job benchmarks (MM's two passes) into one reported trace.
+func (t *RankTrace) Add(o RankTrace) {
+	t.MapDone += o.MapDone
+	t.ShuffleDone += o.ShuffleDone
+	t.SortDone += o.SortDone
+	t.ReduceDone += o.ReduceDone
+	t.ChunksMapped += o.ChunksMapped
+	t.ChunksStolen += o.ChunksStolen
+	t.StolenBytes += o.StolenBytes
+	t.PairsEmitted += o.PairsEmitted
+	t.PairsReduced += o.PairsReduced
+	t.OutOfCore = t.OutOfCore || o.OutOfCore
+	t.LocalSteals += o.LocalSteals
+	t.RemoteSteals += o.RemoteSteals
+	t.LocalStolenBytes += o.LocalStolenBytes
+	t.RemoteStolenBytes += o.RemoteStolenBytes
+	t.SentWireBytes += o.SentWireBytes
+	t.SentLocalBytes += o.SentLocalBytes
+	t.RecvWireBytes += o.RecvWireBytes
+	t.RecvLocalBytes += o.RecvLocalBytes
+	t.Failed = t.Failed || o.Failed
+	if o.FailedAt > t.FailedAt {
+		t.FailedAt = o.FailedAt
+	}
+	if o.Derated > t.Derated {
+		t.Derated = o.Derated
+	}
+	t.ChunksRecovered += o.ChunksRecovered
+	t.RecoveredBytes += o.RecoveredBytes
+	t.RelayBytes += o.RelayBytes
+	t.SpecLaunched += o.SpecLaunched
+	t.SpecWon += o.SpecWon
+	t.ChunksWasted += o.ChunksWasted
+	t.ChunksSkipped += o.ChunksSkipped
+	t.DupDropped += o.DupDropped
 }
 
 // Trace aggregates a job's timing.
@@ -66,6 +138,47 @@ func (t *Trace) Steals() StealStats {
 		s.RemoteSteals += r.RemoteSteals
 		s.LocalBytes += r.LocalStolenBytes
 		s.RemoteBytes += r.RemoteStolenBytes
+	}
+	return s
+}
+
+// RecoveryStats aggregates fault recovery and speculation across ranks.
+type RecoveryStats struct {
+	FailedRanks     int
+	DeratedRanks    int
+	ChunksRecovered int   // lost chunks re-executed by survivors
+	RecoveredBytes  int64 // input re-fetch traffic for those
+	RelayBytes      int64 // partition-handoff traffic from failed ranks
+	SpecLaunched    int
+	SpecWon         int
+	ChunksWasted    int
+	ChunksSkipped   int
+	DupDropped      int
+}
+
+// Active reports whether any fault, recovery, or speculation happened.
+func (r RecoveryStats) Active() bool {
+	return r.FailedRanks > 0 || r.DeratedRanks > 0 || r.ChunksRecovered > 0 || r.SpecLaunched > 0
+}
+
+// Recovery sums the per-rank fault recovery and speculation counters.
+func (t *Trace) Recovery() RecoveryStats {
+	var s RecoveryStats
+	for _, r := range t.Ranks {
+		if r.Failed {
+			s.FailedRanks++
+		}
+		if r.Derated > 1 {
+			s.DeratedRanks++
+		}
+		s.ChunksRecovered += r.ChunksRecovered
+		s.RecoveredBytes += r.RecoveredBytes
+		s.RelayBytes += r.RelayBytes
+		s.SpecLaunched += r.SpecLaunched
+		s.SpecWon += r.SpecWon
+		s.ChunksWasted += r.ChunksWasted
+		s.ChunksSkipped += r.ChunksSkipped
+		s.DupDropped += r.DupDropped
 	}
 	return s
 }
@@ -121,7 +234,9 @@ func maxT(a, b des.Time) des.Time {
 	return b
 }
 
-// String renders a compact human-readable summary.
+// String renders a compact human-readable summary: the stage breakdown,
+// fabric totals, steal provenance, per-rank communication accounting, and
+// — when faults were injected — the recovery and speculation counters.
 func (t *Trace) String() string {
 	b := t.Breakdown()
 	var sb strings.Builder
@@ -133,6 +248,33 @@ func (t *Trace) String() string {
 		fmt.Fprintf(&sb, "\n  steals %d local (%.1f MB) / %d remote (%.1f MB)",
 			st.LocalSteals, float64(st.LocalBytes)/1e6,
 			st.RemoteSteals, float64(st.RemoteBytes)/1e6)
+	}
+	for r := range t.Ranks {
+		rt := &t.Ranks[r]
+		fmt.Fprintf(&sb, "\n  comm r%d: sent %.1f MB wire / %.1f MB local, recv %.1f / %.1f",
+			r, float64(rt.SentWireBytes)/1e6, float64(rt.SentLocalBytes)/1e6,
+			float64(rt.RecvWireBytes)/1e6, float64(rt.RecvLocalBytes)/1e6)
+		if rt.Failed {
+			fmt.Fprintf(&sb, "  [FAILED @%v]", rt.FailedAt)
+		}
+		if rt.Derated > 1 {
+			fmt.Fprintf(&sb, "  [straggler x%.3g]", rt.Derated)
+		}
+		if rt.ChunksRecovered > 0 {
+			fmt.Fprintf(&sb, "  [recovered %d chunks, %.1f MB]", rt.ChunksRecovered, float64(rt.RecoveredBytes)/1e6)
+		}
+		if rt.RelayBytes > 0 {
+			fmt.Fprintf(&sb, "  [relayed %.1f MB]", float64(rt.RelayBytes)/1e6)
+		}
+	}
+	if rec := t.Recovery(); rec.Active() {
+		fmt.Fprintf(&sb, "\n  faults: %d failed, %d derated; recovery %d chunks re-executed (%.1f MB refetch, %.1f MB relay)",
+			rec.FailedRanks, rec.DeratedRanks, rec.ChunksRecovered,
+			float64(rec.RecoveredBytes)/1e6, float64(rec.RelayBytes)/1e6)
+		if rec.SpecLaunched > 0 || rec.ChunksWasted > 0 || rec.ChunksSkipped > 0 {
+			fmt.Fprintf(&sb, "\n  speculation: %d launched, %d won, %d wasted, %d skipped, %d dups dropped",
+				rec.SpecLaunched, rec.SpecWon, rec.ChunksWasted, rec.ChunksSkipped, rec.DupDropped)
+		}
 	}
 	return sb.String()
 }

@@ -1,0 +1,47 @@
+package des
+
+import "testing"
+
+func TestCondBroadcastWakesAllWaiters(t *testing.T) {
+	eng := NewEngine()
+	c := NewCond(eng)
+	woken := 0
+	for i := 0; i < 3; i++ {
+		eng.Spawn("waiter", func(p *Proc) {
+			c.Wait(p)
+			woken++
+		})
+	}
+	eng.Spawn("caster", func(p *Proc) {
+		p.Sleep(5)
+		c.Broadcast()
+	})
+	if end := eng.Run(); end != 5 {
+		t.Errorf("finished at t=%v, want 5", end)
+	}
+	if woken != 3 {
+		t.Errorf("woke %d waiters, want 3", woken)
+	}
+}
+
+func TestCondIsReusable(t *testing.T) {
+	eng := NewEngine()
+	c := NewCond(eng)
+	rounds := 0
+	eng.Spawn("waiter", func(p *Proc) {
+		for rounds < 2 {
+			c.Wait(p)
+			rounds++
+		}
+	})
+	eng.Spawn("caster", func(p *Proc) {
+		p.Sleep(1)
+		c.Broadcast()
+		p.Sleep(1)
+		c.Broadcast()
+	})
+	eng.Run()
+	if rounds != 2 {
+		t.Errorf("waiter saw %d broadcasts, want 2", rounds)
+	}
+}

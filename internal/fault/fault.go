@@ -1,0 +1,168 @@
+// Package fault defines deterministic fault-injection plans for GPMR
+// simulations: fail-stop GPU failures and slow-rank (straggler) derating,
+// scheduled at exact simulated times or at per-rank chunk-count triggers.
+//
+// The failure model is the one a production GPU cluster actually faces:
+// the *GPU* dies or degrades, while the host-side MPI process survives.
+// A failed rank therefore stops consuming chunks and loses everything
+// resident only in device memory (in-flight maps, undrained emit
+// buffers), but its host process still holds the input chunks queued to
+// it and the shuffle pairs it has received, and participates in recovery
+// by shipping that host-resident state to a successor. Recovery itself
+// lives in internal/core; this package only describes *what* goes wrong
+// and *when*, so that a failure is a reproducible, benchmarkable event —
+// something a real cluster can never give you.
+//
+// Injection windows: fail-stop recovery covers the map/shuffle phase. An
+// event that takes effect after a rank has closed its shuffle (all end
+// markers received) is recorded in the trace but triggers no recovery —
+// by then the rank's map output is fully delivered and its partition is
+// staged host-side. Straggler derating applies to all subsequent kernel
+// and PCIe costs of the rank, whenever it fires. A time-triggered event
+// whose At lies beyond the job's natural makespan extends the simulated
+// wall clock to At (the injector is a simulated process); prefer
+// chunk-count triggers when the makespan is not known in advance.
+package fault
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+)
+
+// Kind discriminates the failure modes a Plan can inject.
+type Kind int
+
+const (
+	// FailStop kills the rank's GPU permanently. The rank stops consuming
+	// chunks; its lost work is re-executed by survivors and its reduce
+	// partition is reassigned (see core's recovery protocol).
+	FailStop Kind = iota
+	// Straggler derates the rank: all subsequent kernel and PCIe
+	// durations scale by Factor, modeling a thermally throttled or
+	// otherwise heterogeneous-slow GPU.
+	Straggler
+)
+
+// String names the kind for traces and reports.
+func (k Kind) String() string {
+	switch k {
+	case FailStop:
+		return "failstop"
+	case Straggler:
+		return "straggler"
+	}
+	return "unknown"
+}
+
+// Event schedules one fault. The trigger is AfterChunks when positive
+// (fires right after the rank finishes mapping its Nth chunk — robust to
+// makespan changes), otherwise the exact simulated time At.
+type Event struct {
+	// Rank is the GPU process the fault strikes.
+	Rank int
+	// Kind selects fail-stop or straggler derating.
+	Kind Kind
+	// At is the simulated trigger time, used when AfterChunks is zero.
+	At des.Time
+	// AfterChunks, when positive, triggers the event right after the rank
+	// finishes mapping its Nth chunk (1 = after its first chunk).
+	AfterChunks int
+	// Factor is the straggler derating multiplier (>1 = slower). Ignored
+	// for FailStop.
+	Factor float64
+}
+
+// String renders the event for reports.
+func (e Event) String() string {
+	trig := fmt.Sprintf("@%v", e.At)
+	if e.AfterChunks > 0 {
+		trig = fmt.Sprintf("after %d chunks", e.AfterChunks)
+	}
+	if e.Kind == Straggler {
+		return fmt.Sprintf("r%d %sx%.3g %s", e.Rank, e.Kind, e.Factor, trig)
+	}
+	return fmt.Sprintf("r%d %s %s", e.Rank, e.Kind, trig)
+}
+
+// FailAt schedules a fail-stop of rank at simulated time at.
+func FailAt(rank int, at des.Time) Event {
+	return Event{Rank: rank, Kind: FailStop, At: at}
+}
+
+// FailAfterChunks schedules a fail-stop of rank right after it maps its
+// nth chunk.
+func FailAfterChunks(rank, n int) Event {
+	return Event{Rank: rank, Kind: FailStop, AfterChunks: n}
+}
+
+// SlowdownAt derates rank by factor from simulated time at onward.
+func SlowdownAt(rank int, at des.Time, factor float64) Event {
+	return Event{Rank: rank, Kind: Straggler, At: at, Factor: factor}
+}
+
+// SlowdownAfterChunks derates rank by factor right after it maps its nth
+// chunk.
+func SlowdownAfterChunks(rank, n int, factor float64) Event {
+	return Event{Rank: rank, Kind: Straggler, AfterChunks: n, Factor: factor}
+}
+
+// Plan is a deterministic injection schedule for one job. The zero value
+// (or nil) injects nothing.
+type Plan struct {
+	Events []Event
+}
+
+// Empty reports whether the plan injects nothing.
+func (p *Plan) Empty() bool { return p == nil || len(p.Events) == 0 }
+
+// HasFailStop reports whether the plan kills any GPU. Only fail-stops
+// (and speculation) need the resilient scheduler's chunk tracking and
+// exactly-once delivery; a straggler-only plan merely derates devices.
+func (p *Plan) HasFailStop() bool {
+	if p == nil {
+		return false
+	}
+	for _, e := range p.Events {
+		if e.Kind == FailStop {
+			return true
+		}
+	}
+	return false
+}
+
+// Validate checks the plan against a job with nRanks GPU processes.
+func (p *Plan) Validate(nRanks int) error {
+	if p.Empty() {
+		return nil
+	}
+	failed := make(map[int]bool)
+	for _, e := range p.Events {
+		if e.Rank < 0 || e.Rank >= nRanks {
+			return fmt.Errorf("fault: event %v targets rank outside 0..%d", e, nRanks-1)
+		}
+		if e.At < 0 {
+			return fmt.Errorf("fault: event %v has negative trigger time", e)
+		}
+		if e.AfterChunks < 0 {
+			return fmt.Errorf("fault: event %v has negative chunk trigger", e)
+		}
+		switch e.Kind {
+		case FailStop:
+			if failed[e.Rank] {
+				return fmt.Errorf("fault: rank %d fail-stops twice", e.Rank)
+			}
+			failed[e.Rank] = true
+		case Straggler:
+			if e.Factor < 1 {
+				return fmt.Errorf("fault: event %v derating factor must be >= 1", e)
+			}
+		default:
+			return fmt.Errorf("fault: event %v has unknown kind %d", e, e.Kind)
+		}
+	}
+	if len(failed) >= nRanks {
+		return fmt.Errorf("fault: plan fail-stops all %d ranks; recovery needs a survivor", nRanks)
+	}
+	return nil
+}

@@ -1,0 +1,67 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/des"
+)
+
+func TestValidateAcceptsSanePlan(t *testing.T) {
+	p := &Plan{Events: []Event{
+		FailAfterChunks(2, 1),
+		SlowdownAt(5, 3*des.Millisecond, 8),
+		FailAt(1, des.Millisecond),
+	}}
+	if err := p.Validate(8); err != nil {
+		t.Errorf("valid plan rejected: %v", err)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		plan Plan
+		want string
+	}{
+		{"rank out of range", Plan{Events: []Event{FailAt(8, 0)}}, "outside"},
+		{"negative rank", Plan{Events: []Event{FailAt(-1, 0)}}, "outside"},
+		{"double failstop", Plan{Events: []Event{FailAt(1, 0), FailAfterChunks(1, 3)}}, "twice"},
+		{"factor below one", Plan{Events: []Event{SlowdownAt(0, 0, 0.5)}}, ">= 1"},
+		{"negative time", Plan{Events: []Event{{Rank: 0, Kind: FailStop, At: -1}}}, "negative"},
+		{"negative chunks", Plan{Events: []Event{{Rank: 0, Kind: FailStop, AfterChunks: -2}}}, "negative"},
+		{"unknown kind", Plan{Events: []Event{{Rank: 0, Kind: Kind(9)}}}, "unknown kind"},
+		{"all ranks fail", Plan{Events: []Event{FailAt(0, 0), FailAt(1, 0)}}, "survivor"},
+	}
+	for _, c := range cases {
+		err := c.plan.Validate(2)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: got %v, want error containing %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	var nilPlan *Plan
+	if !nilPlan.Empty() {
+		t.Error("nil plan not empty")
+	}
+	if !(&Plan{}).Empty() {
+		t.Error("zero plan not empty")
+	}
+	if (&Plan{Events: []Event{FailAt(0, 0)}}).Empty() {
+		t.Error("populated plan reported empty")
+	}
+	if err := nilPlan.Validate(4); err != nil {
+		t.Errorf("nil plan failed validation: %v", err)
+	}
+}
+
+func TestEventString(t *testing.T) {
+	if s := FailAfterChunks(3, 2).String(); !strings.Contains(s, "r3") || !strings.Contains(s, "after 2 chunks") {
+		t.Errorf("event string %q", s)
+	}
+	if s := SlowdownAt(1, des.Millisecond, 4).String(); !strings.Contains(s, "x4") {
+		t.Errorf("straggler string %q lacks factor", s)
+	}
+}

@@ -25,6 +25,7 @@ type Device struct {
 	memUsed int64
 	memPeak int64
 	buffers int
+	derate  float64 // heterogeneity factor: >1 stretches kernel & PCIe durations
 	// Accumulated busy times for utilization reporting.
 	KernelTime des.Time
 	CopyTime   des.Time
@@ -42,6 +43,34 @@ func NewDevice(eng *des.Engine, id int, pr Props, pcieLink *des.Resource, pciePr
 		pcieBW:  pcieProps.Bandwidth,
 		pcieLat: pcieProps.Latency,
 	}
+}
+
+// SetDerate stretches all subsequent kernel and PCIe durations on this
+// device by factor (>1 = slower; values below 1 clamp to nominal). It
+// models heterogeneous-slow or throttled GPUs — the straggler half of the
+// fault-injection machinery. Operations already in progress finish at
+// their original speed.
+func (d *Device) SetDerate(factor float64) {
+	if factor < 1 {
+		factor = 1
+	}
+	d.derate = factor
+}
+
+// DerateFactor returns the current derating multiplier (1 = nominal).
+func (d *Device) DerateFactor() float64 {
+	if d.derate < 1 {
+		return 1
+	}
+	return d.derate
+}
+
+// scaled applies the device's derating factor to a duration.
+func (d *Device) scaled(t des.Time) des.Time {
+	if d.derate > 1 {
+		return des.Time(float64(t) * d.derate)
+	}
+	return t
 }
 
 // MemUsed returns the currently allocated device memory in virtual bytes.
@@ -140,7 +169,7 @@ func (b *Buffer) Free() {
 // host code), while the calling process occupies the compute engine for the
 // kernel's modeled duration. It returns that duration.
 func (d *Device) Launch(p *des.Proc, spec KernelSpec, fn func()) des.Time {
-	cost := spec.Cost(d.Props)
+	cost := d.scaled(spec.Cost(d.Props))
 	d.compute.Acquire(p, 1)
 	if fn != nil {
 		fn()
@@ -155,6 +184,7 @@ func (d *Device) Launch(p *des.Proc, spec KernelSpec, fn func()) des.Time {
 // (multi-pass primitives like radix sort), holding the compute engine for
 // the whole duration.
 func (d *Device) LaunchFor(p *des.Proc, cost des.Time, fn func()) des.Time {
+	cost = d.scaled(cost)
 	d.compute.Acquire(p, 1)
 	if fn != nil {
 		fn()
@@ -168,7 +198,7 @@ func (d *Device) LaunchFor(p *des.Proc, cost des.Time, fn func()) des.Time {
 // transfer models one PCIe DMA: the copy engine and the (possibly shared)
 // link are held for the transfer duration.
 func (d *Device) transfer(p *des.Proc, virtBytes int64, fn func()) des.Time {
-	dur := d.pcieLat + des.FromSeconds(float64(virtBytes)/d.pcieBW)
+	dur := d.scaled(d.pcieLat + des.FromSeconds(float64(virtBytes)/d.pcieBW))
 	d.copyEng.Acquire(p, 1)
 	d.pcie.Acquire(p, 1)
 	if fn != nil {
