@@ -10,6 +10,7 @@
 //	gpmrbench -exp fig3 -bench sio      # one figure, one benchmark
 //	gpmrbench -exp table2 -phys 1048576 # higher functional fidelity
 //	gpmrbench -exp faults               # fault recovery & speculation
+//	gpmrbench -exp multijob             # multi-tenant scheduling policies
 //
 // Larger -phys materializes more physical data per run (slower, more
 // faithful functionally); simulated costs always use paper-scale sizes.
@@ -128,6 +129,26 @@ func main() {
 			bench.RenderFaults(out, rows)
 			return nil
 		}},
+		{"multijob", func() error {
+			rows, traces, err := bench.Multijob(o)
+			if err != nil {
+				return err
+			}
+			bench.RenderMultijob(out, rows, traces)
+			return nil
+		}},
+	}
+
+	names := make([]string, 0, len(experiments))
+	for _, e := range experiments {
+		names = append(names, e.name)
+	}
+
+	// `-exp help` lists the registry and exits clean (the flag usage
+	// points here).
+	if *exp == "help" {
+		fmt.Fprintf(out, "experiments: all %s\n", strings.Join(names, " "))
+		return
 	}
 
 	// Validate -exp against the registry: a typo must fail loudly, not
@@ -141,10 +162,6 @@ func main() {
 			}
 		}
 		if !known {
-			names := make([]string, 0, len(experiments))
-			for _, e := range experiments {
-				names = append(names, e.name)
-			}
 			fmt.Fprintf(os.Stderr, "gpmrbench: unknown experiment %q; valid: all %s\n",
 				*exp, strings.Join(names, " "))
 			os.Exit(2)

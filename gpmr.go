@@ -39,9 +39,11 @@
 package gpmr
 
 import (
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/des"
 	"repro/internal/fault"
+	"repro/internal/sched"
 )
 
 // Core pipeline types, re-exported from the implementation package.
@@ -101,7 +103,51 @@ type (
 
 	// Time is simulated time in nanoseconds.
 	Time = des.Time
+
+	// Multi-tenant job scheduling (internal/sched): many jobs
+	// space-sharing one simulated cluster. See DESIGN.md,
+	// "Multi-tenancy".
+
+	// Scheduled wraps a Job for the job-level scheduler and captures its
+	// Result on completion.
+	Scheduled[V any] = core.Scheduled[V]
+	// Runnable is the non-generic job interface the scheduler admits.
+	Runnable = core.Runnable
+	// SchedPolicy configures gang sizing and admission for RunJobs.
+	SchedPolicy = sched.Policy
+	// SchedPolicyKind selects FIFO-exclusive, fixed-share, or
+	// weighted-fair scheduling.
+	SchedPolicyKind = sched.PolicyKind
+	// JobSpec is one submission (arrival time, job, weight, MinGang).
+	JobSpec = sched.JobSpec
+	// ClusterTrace aggregates a scheduler run: per-job latency and queue
+	// wait, throughput, and Jain's fairness index.
+	ClusterTrace = sched.ClusterTrace
+	// JobTrace records one job's passage through the shared cluster.
+	JobTrace = sched.JobTrace
+	// ClusterConfig selects the shared machine's shape for RunJobs.
+	ClusterConfig = cluster.Config
 )
+
+// Job-level scheduling policies selectable via SchedPolicy.Kind.
+const (
+	// FIFOExclusive runs jobs one at a time on the whole cluster.
+	FIFOExclusive = sched.FIFOExclusive
+	// FixedShare caps every gang at a fixed rank count.
+	FixedShare = sched.FixedShare
+	// WeightedFair sizes gangs by weight and molds them onto idle ranks.
+	WeightedFair = sched.WeightedFair
+)
+
+// RunJobs simulates a stream of jobs space-sharing one cluster under the
+// policy and returns the cluster-level trace.
+func RunJobs(cc ClusterConfig, pol SchedPolicy, specs []JobSpec) (*ClusterTrace, error) {
+	return sched.Run(cc, pol, specs)
+}
+
+// DefaultClusterConfig is the paper's testbed shape scaled to nGPUs ranks
+// (four per node), for use with RunJobs.
+func DefaultClusterConfig(nGPUs int) ClusterConfig { return cluster.DefaultConfig(nGPUs) }
 
 // Fault injection helpers, re-exported from internal/fault.
 var (

@@ -71,6 +71,23 @@ func (c *chunk) VirtBytes() int64 { return c.virt * int64(c.dim) * 4 }
 // dim is the influencing-point count.
 func keyOf(center, slot, dim int) uint32 { return uint32(center*(dim+1) + slot) }
 
+// quantGrid is the fixed-point grid point coordinates snap to (2^-10).
+// Grid-aligned addends make every float64 coordinate sum exact — each
+// partial is a multiple of 2^-10 and the totals stay far below 2^52 grid
+// units — so KMC's output is bit-identical no matter how chunks land on
+// ranks: steal order, gang size, co-tenant contention, and failure
+// recovery can reorder the accumulation freely without changing a single
+// output byte. This is what lets the output-invariance tests demand
+// byte-equal answers from a floating-point app.
+const quantGrid = 1 << 10
+
+// quantize snaps coordinates onto the grid, toward zero.
+func quantize(pts []float32) {
+	for i, v := range pts {
+		pts[i] = float32(int64(v*quantGrid)) / quantGrid
+	}
+}
+
 // mapper assigns points to centers with persistent threads and accumulates
 // per-center sums into the resident pairs.
 type mapper struct {
@@ -187,6 +204,7 @@ func NewJob(p Params) *Built {
 	p = p.withDefaults()
 	sc := apputil.PlanScale(p.Points, p.PhysMax)
 	pts := workload.Points(p.Seed, sc.PhysElems, p.Dim)
+	quantize(pts)
 	centers := make([][]float32, p.Centers)
 	crng := workload.NewRNG(p.Seed + 7)
 	for i := range centers {

@@ -1,0 +1,46 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/apps/kmc"
+	"repro/internal/apps/sio"
+	"repro/internal/apps/wo"
+	"repro/internal/core"
+)
+
+// TestGoldenTraceDeterminism runs the same seeded job twice in one process
+// and diffs the rendered traces exactly: the simulation is a pure function
+// of its inputs, so timings, byte counts, steal provenance — every line of
+// Trace.String() — must match bit for bit. (The multijob analogue lives in
+// multijob_test.go: two runs of the arrival stream must render identical
+// cluster traces.)
+func TestGoldenTraceDeterminism(t *testing.T) {
+	builders := []struct {
+		name string
+		run  func() *core.Trace
+	}{
+		{"wo", func() *core.Trace {
+			b := wo.NewJob(wo.Params{Bytes: 4 << 20, GPUs: 4, Seed: 2, PhysMax: 1 << 14, DictSize: 1000, ChunkCap: 1 << 18})
+			return b.Job.MustRun().Trace
+		}},
+		{"sio", func() *core.Trace {
+			job, _ := sio.NewJob(sio.Params{Elements: 4 << 20, GPUs: 4, Seed: 2, PhysMax: 1 << 14, ChunkCap: 1 << 19})
+			// Skewed placement so the steal paths are inside the diff too.
+			job.Assign = func(int) int { return 0 }
+			return job.MustRun().Trace
+		}},
+		{"kmc", func() *core.Trace {
+			b := kmc.NewJob(kmc.Params{Points: 4 << 20, GPUs: 4, Seed: 2, PhysMax: 1 << 12})
+			return b.Job.MustRun().Trace
+		}},
+	}
+	for _, tc := range builders {
+		t.Run(tc.name, func(t *testing.T) {
+			a, b := tc.run().String(), tc.run().String()
+			if a != b {
+				t.Errorf("two runs of the same seeded job rendered different traces:\n--- run 1\n%s\n--- run 2\n%s", a, b)
+			}
+		})
+	}
+}

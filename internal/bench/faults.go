@@ -60,18 +60,6 @@ func faultJob(o Options) *core.Job[uint32] {
 	return job
 }
 
-func equalOutput(a, b *keyval.Pairs[uint32]) bool {
-	if a.Len() != b.Len() {
-		return false
-	}
-	for i := range a.Keys {
-		if a.Keys[i] != b.Keys[i] || a.Vals[i] != b.Vals[i] {
-			return false
-		}
-	}
-	return true
-}
-
 // Faults runs the fault-injection scenarios the DESIGN.md fault-tolerance
 // section argues:
 //
@@ -112,7 +100,7 @@ func Faults(o Options) ([]FaultRow, error) {
 			SpecWon:         rec.SpecWon,
 			ChunksWasted:    rec.ChunksWasted,
 			ChunksSkipped:   rec.ChunksSkipped,
-			OutputOK:        equalOutput(&res.Output, &base.Output),
+			OutputOK:        keyval.Equal(&res.Output, &base.Output),
 		}
 	}
 	rows := []FaultRow{row("baseline", base)}

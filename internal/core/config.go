@@ -105,8 +105,11 @@ func (c Config) resilient() bool {
 // calibrated to 2011-era CUDA context + MVAPICH2 job launch costs.
 const DefaultStartup = 15 * des.Millisecond
 
-// withDefaults validates and normalizes the configuration.
-func (c Config) withDefaults() (Config, error) {
+// normalize validates and defaults everything except the Cluster field —
+// the part shared between exclusive runs (which build their own cluster
+// from Config.Cluster) and scheduled runs (which execute on a rank subset
+// of a shared cluster and ignore Config.Cluster entirely).
+func (c Config) normalize() (Config, error) {
 	if c.GPUs <= 0 {
 		return c, fmt.Errorf("core: config needs GPUs >= 1, got %d", c.GPUs)
 	}
@@ -127,6 +130,16 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if err := c.Faults.Validate(c.GPUs); err != nil {
 		return c, fmt.Errorf("core: %w", err)
+	}
+	return c, nil
+}
+
+// withDefaults validates and normalizes the configuration for an exclusive
+// run, including the cluster shape.
+func (c Config) withDefaults() (Config, error) {
+	c, err := c.normalize()
+	if err != nil {
+		return c, err
 	}
 	if c.Cluster == nil {
 		cc := cluster.DefaultConfig(c.GPUs)

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/cudpp"
+	"repro/internal/fault"
+	"repro/internal/keyval"
+)
+
+// nopCombiner satisfies Combiner for validation tests.
+type nopCombiner struct{}
+
+func (nopCombiner) Combine(ctx *MapContext[uint32], keys []uint32, segs []cudpp.Segment, vals []uint32) {
+}
+
+// nopPartial satisfies PartialReducer for validation tests.
+type nopPartial struct{}
+
+func (nopPartial) PartialReduce(ctx *MapContext[uint32], pairs *keyval.Pairs[uint32]) {}
+
+// TestJobValidationTable drives every invalid job/config combination
+// through Run and demands a descriptive error — never a panic, never a
+// silent fallback.
+func TestJobValidationTable(t *testing.T) {
+	valid := func() *Job[uint32] { return countJob(smallData(100, 10), 2, 2) }
+	cases := []struct {
+		name string
+		mut  func(j *Job[uint32])
+	}{
+		{"zero GPUs", func(j *Job[uint32]) { j.Config.GPUs = 0 }},
+		{"negative GPUs", func(j *Job[uint32]) { j.Config.GPUs = -3 }},
+		{"nil Mapper", func(j *Job[uint32]) { j.Mapper = nil }},
+		{"no chunks", func(j *Job[uint32]) { j.Chunks = nil }},
+		{"Accumulate+Combiner", func(j *Job[uint32]) {
+			j.Config.Accumulate = true
+			j.Combiner = nopCombiner{}
+		}},
+		{"Accumulate+PartialReducer", func(j *Job[uint32]) {
+			j.Config.Accumulate = true
+			j.PartialReducer = nopPartial{}
+		}},
+		{"DisableSort+Reducer", func(j *Job[uint32]) { j.Config.DisableSort = true }},
+		{"DisableSort+Combiner", func(j *Job[uint32]) {
+			j.Config.DisableSort = true
+			j.Reducer = nil
+			j.Combiner = nopCombiner{}
+		}},
+		{"unknown StealPolicy", func(j *Job[uint32]) { j.Config.StealPolicy = StealPolicy(7) }},
+		{"fault rank out of range", func(j *Job[uint32]) {
+			j.Config.Faults = &fault.Plan{Events: []fault.Event{fault.FailAt(9, 0)}}
+		}},
+		{"fail-stop with Accumulate", func(j *Job[uint32]) {
+			j.Config.Accumulate = true
+			j.Combiner = nil
+			j.PartialReducer = nil
+			j.Mapper = accumMapper{keySpace: 10}
+			j.Config.Faults = &fault.Plan{Events: []fault.Event{fault.FailAt(0, 0)}}
+		}},
+		{"speculation with Combiner", func(j *Job[uint32]) {
+			j.Config.Speculate = true
+			j.Combiner = nopCombiner{}
+		}},
+		{"cluster GPU mismatch", func(j *Job[uint32]) {
+			cc := cluster.DefaultConfig(4)
+			j.Config.Cluster = &cc // job wants 2
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			j := valid()
+			tc.mut(j)
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Run panicked instead of returning an error: %v", r)
+				}
+			}()
+			if _, err := j.Run(); err == nil {
+				t.Error("invalid job ran without error")
+			}
+		})
+	}
+	// The unmutated fixture must of course still run.
+	if _, err := valid().Run(); err != nil {
+		t.Fatalf("valid fixture rejected: %v", err)
+	}
+}

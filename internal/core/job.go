@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/des"
+	"repro/internal/fault"
 	"repro/internal/keyval"
 )
 
@@ -18,7 +19,9 @@ type Job[V any] struct {
 	Chunks []Chunk
 
 	// Assign optionally overrides the initial round-robin chunk placement
-	// (chunk index → rank).
+	// (chunk index → rank). Ranks outside the job's actual gang size are
+	// wrapped, so placements written for the requested GPU count still
+	// work when a scheduler grants a smaller gang.
 	Assign func(chunk int) int
 
 	Mapper         Mapper[V]
@@ -66,67 +69,23 @@ func (j *Job[V]) Validate() error {
 	return nil
 }
 
-// Run executes the job on a freshly built simulated cluster and returns the
-// result with its timing trace.
+// Run executes the job on a freshly built, exclusive simulated cluster and
+// returns the result with its timing trace. It is launchOn specialized to
+// the single-tenant case: the gang is the whole cluster. Job and config
+// validation happen inside launchOn; only the Cluster field needs
+// resolving here, before the machine is built.
 func (j *Job[V]) Run() (*Result[V], error) {
-	if err := j.Validate(); err != nil {
-		return nil, err
-	}
 	cfg, err := j.Config.withDefaults()
 	if err != nil {
 		return nil, err
 	}
 	eng := des.NewEngine()
 	cl := cluster.New(eng, *cfg.Cluster)
-	rt := &runtime[V]{
-		job:    j,
-		cfg:    cfg,
-		cl:     cl,
-		sched:  newScheduler(eng, j.Chunks, cfg, cl.Fabric, j.Assign),
-		traces: make([]RankTrace, cfg.GPUs),
-		outs:   make([]keyval.Pairs[V], cfg.GPUs),
-		gather: make([]*keyval.Pairs[V], cfg.GPUs),
-		ft:     newFaultState(cfg.GPUs),
+	var res *Result[V]
+	if err := j.launchOn(eng, cl, identityRanks(cfg.GPUs), func(r *Result[V]) { res = r }); err != nil {
+		return nil, err
 	}
-	rt.sched.derateOf = cl.DerateFactor
-	if j.Sorter == nil {
-		rt.sorter = RadixSorter{}
-	} else {
-		rt.sorter = j.Sorter
-	}
-	for r := 0; r < cfg.GPUs; r++ {
-		rt.spawnRank(eng, r)
-	}
-	rt.spawnInjectors(eng)
-	wall := eng.Run()
-
-	res := &Result[V]{
-		PerRank: rt.outs,
-		Trace: &Trace{
-			Name:       cfg.Name,
-			GPUs:       cfg.GPUs,
-			Wall:       wall,
-			Ranks:      rt.traces,
-			WireBytes:  cl.Fabric.BytesSent,
-			LocalBytes: cl.Fabric.LocalBytes,
-		},
-	}
-	if cfg.GatherOutput {
-		// Concatenate in partition order; a partition reduced by a
-		// successor rank after a failure still lands in its own slot, so
-		// the gathered output is identical to a failure-free run.
-		for part := 0; part < cfg.GPUs; part++ {
-			var pr *keyval.Pairs[V]
-			if rt.ft.owner[part] == 0 {
-				pr = &rt.outs[part]
-			} else {
-				pr = rt.gather[part]
-			}
-			if pr != nil {
-				res.Output.AppendPairs(pr)
-			}
-		}
-	}
+	eng.Run()
 	return res, nil
 }
 
@@ -139,15 +98,194 @@ func (j *Job[V]) MustRun() *Result[V] {
 	return res
 }
 
+// launchOn instantiates the job's processes on a shared engine and cluster
+// against the given global rank subset (the job's gang) and returns
+// immediately; the engine runs the job alongside any co-resident tenants.
+// The job executes with GPUs = len(ranks) — a scheduler may grant a gang
+// smaller than the requested Config.GPUs — and Config.Cluster is ignored
+// (the machine is whatever cl is). done fires, in simulated time from one
+// of the job's own processes, when the job's last process finishes; the
+// Result's Trace carries the job-relative makespan and the job's own share
+// of the shared fabric's traffic.
+func (j *Job[V]) launchOn(eng *des.Engine, cl *cluster.Cluster, ranks []int, done func(*Result[V])) error {
+	if err := j.Validate(); err != nil {
+		return err
+	}
+	if len(ranks) == 0 {
+		return errors.New("core: launch needs a non-empty gang")
+	}
+	cfg := j.Config
+	cfg.GPUs = len(ranks)
+	if cfg.GPUs < j.Config.GPUs && !cfg.Faults.Empty() {
+		// The scheduler granted a smaller gang than requested. Fault
+		// events aimed at job-local ranks that were valid for the request
+		// but no longer exist are vacuously dropped — the GPU that would
+		// have failed is not part of this job. Events outside even the
+		// requested range still fail validation below.
+		kept := make([]fault.Event, 0, len(cfg.Faults.Events))
+		for _, ev := range cfg.Faults.Events {
+			if ev.Rank < cfg.GPUs || ev.Rank >= j.Config.GPUs {
+				kept = append(kept, ev)
+			}
+		}
+		if len(kept) == 0 {
+			cfg.Faults = nil
+		} else {
+			cfg.Faults = &fault.Plan{Events: kept}
+		}
+	}
+	cfg, err := cfg.normalize()
+	if err != nil {
+		return err
+	}
+	g, err := newGang(cl, ranks)
+	if err != nil {
+		return err
+	}
+	rt := &runtime[V]{
+		job:    j,
+		cfg:    cfg,
+		g:      g,
+		start:  eng.Now(),
+		wg:     des.NewWaitGroup(eng),
+		traces: make([]RankTrace, cfg.GPUs),
+		outs:   make([]keyval.Pairs[V], cfg.GPUs),
+		gather: make([]*keyval.Pairs[V], cfg.GPUs),
+		ft:     newFaultState(cfg.GPUs),
+	}
+	rt.sched = newScheduler(eng, j.Chunks, cfg, g, j.Assign)
+	rt.sched.derateOf = g.derate
+	if j.Sorter == nil {
+		rt.sorter = RadixSorter{}
+	} else {
+		rt.sorter = j.Sorter
+	}
+	for r := 0; r < cfg.GPUs; r++ {
+		rt.spawnRank(eng, r)
+	}
+	rt.spawnInjectors(eng)
+	eng.Spawn(rt.procName("done"), func(p *des.Proc) {
+		rt.wg.Wait(p)
+		// Lease-end invariant: the job consumed everything addressed to
+		// it. A message left behind would leak into the next tenant of
+		// that global rank on a shared cluster.
+		for l := 0; l < rt.g.size(); l++ {
+			if n := rt.g.pending(l); n != 0 {
+				panic(fmt.Sprintf("core: job %q left %d unread message(s) in rank %d's inbox", cfg.Name, n, ranks[l]))
+			}
+		}
+		done(rt.collect(p.Now()))
+	})
+	return nil
+}
+
+// collect assembles the job's Result at completion time now.
+func (rt *runtime[V]) collect(now des.Time) *Result[V] {
+	res := &Result[V]{
+		PerRank: rt.outs,
+		Trace: &Trace{
+			Name:       rt.cfg.Name,
+			GPUs:       rt.cfg.GPUs,
+			Wall:       now - rt.start,
+			Ranks:      rt.traces,
+			WireBytes:  rt.g.wireBytes,
+			LocalBytes: rt.g.localBytes,
+		},
+	}
+	if rt.cfg.GatherOutput {
+		// Concatenate in partition order; a partition reduced by a
+		// successor rank after a failure still lands in its own slot, so
+		// the gathered output is identical to a failure-free run.
+		for part := 0; part < rt.cfg.GPUs; part++ {
+			var pr *keyval.Pairs[V]
+			if rt.ft.owner[part] == 0 {
+				pr = &rt.outs[part]
+			} else {
+				pr = rt.gather[part]
+			}
+			if pr != nil {
+				res.Output.AppendPairs(pr)
+			}
+		}
+	}
+	return res
+}
+
+// spawn registers one of the job's processes, tracked so the completion
+// watcher knows when the job's last process has finished.
+func (rt *runtime[V]) spawn(eng *des.Engine, name string, body func(p *des.Proc)) {
+	rt.wg.Add(1)
+	eng.Spawn(name, func(p *des.Proc) {
+		body(p)
+		rt.wg.Done()
+	})
+}
+
+// procName prefixes a process or primitive name with the job's name so
+// shared-engine diagnostics (deadlock reports) identify the tenant.
+func (rt *runtime[V]) procName(suffix string) string {
+	return rt.cfg.Name + "." + suffix
+}
+
 // runtime holds one execution's shared state.
 type runtime[V any] struct {
 	job    *Job[V]
 	cfg    Config
-	cl     *cluster.Cluster
+	g      *gang
+	start  des.Time // simulated admission time; traces are relative to it
+	wg     *des.WaitGroup
 	sched  *scheduler
 	sorter Sorter
 	traces []RankTrace
 	outs   []keyval.Pairs[V]  // final pairs by reduce partition
 	gather []*keyval.Pairs[V] // rank 0's gathered outputs, by partition
 	ft     faultState
+}
+
+// Runnable is the non-generic face of a Job, letting the job-level
+// scheduler (internal/sched) admit heterogeneous jobs — different value
+// types V — onto one shared cluster. Wrap a Job in a Scheduled to get one.
+type Runnable interface {
+	// RunName labels the job in cluster traces.
+	RunName() string
+	// GangWant is the job's requested gang size (Config.GPUs).
+	GangWant() int
+	// ValidateJob checks the job without running it.
+	ValidateJob() error
+	// LaunchOn instantiates the job on the shared engine and cluster
+	// against the granted rank subset; done fires (in simulated time)
+	// with the job's trace when its last process finishes.
+	LaunchOn(eng *des.Engine, cl *cluster.Cluster, ranks []int, done func(*Trace)) error
+}
+
+// Scheduled adapts one generic Job for the job-level scheduler and
+// captures its Result when it completes, so callers can check scheduled
+// output against exclusive runs.
+type Scheduled[V any] struct {
+	Job *Job[V]
+	// Result is populated when the scheduled job completes.
+	Result *Result[V]
+}
+
+// RunName implements Runnable.
+func (s *Scheduled[V]) RunName() string { return s.Job.Config.Name }
+
+// GangWant implements Runnable.
+func (s *Scheduled[V]) GangWant() int { return s.Job.Config.GPUs }
+
+// ValidateJob implements Runnable.
+func (s *Scheduled[V]) ValidateJob() error {
+	if err := s.Job.Validate(); err != nil {
+		return err
+	}
+	_, err := s.Job.Config.normalize()
+	return err
+}
+
+// LaunchOn implements Runnable.
+func (s *Scheduled[V]) LaunchOn(eng *des.Engine, cl *cluster.Cluster, ranks []int, done func(*Trace)) error {
+	return s.Job.launchOn(eng, cl, ranks, func(res *Result[V]) {
+		s.Result = res
+		done(res.Trace)
+	})
 }

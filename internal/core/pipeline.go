@@ -96,12 +96,12 @@ func (rt *runtime[V]) spawnRank(eng *des.Engine, rank int) {
 	st := &rankState[V]{
 		rt:        rt,
 		rank:      rank,
-		dev:       rt.cl.GPUs[rank],
+		dev:       rt.g.dev(rank),
 		tr:        &rt.traces[rank],
-		loadedQ:   des.NewQueue(eng, fmt.Sprintf("r%d.loaded", rank)),
-		binQ:      des.NewQueue(eng, fmt.Sprintf("r%d.bin", rank)),
-		slots:     des.NewResource(eng, fmt.Sprintf("r%d.slots", rank), rt.cfg.PipelineDepth),
-		emitSlots: des.NewResource(eng, fmt.Sprintf("r%d.emitslots", rank), rt.cfg.PipelineDepth),
+		loadedQ:   des.NewQueue(eng, rt.procName(fmt.Sprintf("r%d.loaded", rank))),
+		binQ:      des.NewQueue(eng, rt.procName(fmt.Sprintf("r%d.bin", rank))),
+		slots:     des.NewResource(eng, rt.procName(fmt.Sprintf("r%d.slots", rank)), rt.cfg.PipelineDepth),
+		emitSlots: des.NewResource(eng, rt.procName(fmt.Sprintf("r%d.emitslots", rank)), rt.cfg.PipelineDepth),
 		seen:      make(map[[2]int]bool),
 	}
 	st.mctx = &MapContext[V]{
@@ -113,10 +113,10 @@ func (rt *runtime[V]) spawnRank(eng *des.Engine, rank int) {
 	if rt.job.Combiner != nil {
 		st.combineReady = des.NewSignal(eng)
 	}
-	eng.Spawn(fmt.Sprintf("r%d.loader", rank), st.loaderProc)
-	eng.Spawn(fmt.Sprintf("r%d.map", rank), st.mapProc)
-	eng.Spawn(fmt.Sprintf("r%d.bin", rank), st.binProc)
-	eng.Spawn(fmt.Sprintf("r%d.reduce", rank), st.reduceProc)
+	rt.spawn(eng, rt.procName(fmt.Sprintf("r%d.loader", rank)), st.loaderProc)
+	rt.spawn(eng, rt.procName(fmt.Sprintf("r%d.map", rank)), st.mapProc)
+	rt.spawn(eng, rt.procName(fmt.Sprintf("r%d.bin", rank)), st.binProc)
+	rt.spawn(eng, rt.procName(fmt.Sprintf("r%d.reduce", rank)), st.reduceProc)
 }
 
 // dead reports whether this rank's GPU has fail-stopped.
@@ -125,17 +125,17 @@ func (st *rankState[V]) dead() bool { return st.rt.ft.failed[st.rank] }
 // send transmits over the fabric, recording per-rank sent-byte provenance
 // (wire vs intra-node) in the trace.
 func (st *rankState[V]) send(p *des.Proc, to int, tag string, virtBytes int64, payload any) {
-	if st.rt.cl.Fabric.SameNode(st.rank, to) {
+	if st.rt.g.sameNode(st.rank, to) {
 		st.tr.SentLocalBytes += virtBytes
 	} else {
 		st.tr.SentWireBytes += virtBytes
 	}
-	st.rt.cl.Fabric.Send(p, st.rank, to, tag, virtBytes, payload)
+	st.rt.g.send(p, st.rank, to, tag, virtBytes, payload)
 }
 
 // countRecv records received-byte provenance for one delivery.
 func (st *rankState[V]) countRecv(from int, virtBytes int64) {
-	if st.rt.cl.Fabric.SameNode(from, st.rank) {
+	if st.rt.g.sameNode(from, st.rank) {
 		st.tr.RecvLocalBytes += virtBytes
 	} else {
 		st.tr.RecvWireBytes += virtBytes
@@ -164,7 +164,7 @@ func (st *rankState[V]) loaderProc(p *des.Proc) {
 		case a.stolenFrom >= 0:
 			st.tr.ChunksStolen++
 			st.tr.StolenBytes += chunk.VirtBytes()
-			if st.rt.cl.Fabric.SameNode(a.stolenFrom, st.rank) {
+			if st.rt.g.sameNode(a.stolenFrom, st.rank) {
 				st.tr.LocalSteals++
 				st.tr.LocalStolenBytes += chunk.VirtBytes()
 			} else {
@@ -245,7 +245,7 @@ func (st *rankState[V]) mapProc(p *des.Proc) {
 		st.combineReady.Wait(p)
 		st.combineTail(p)
 	}
-	st.tr.MapDone = p.Now()
+	st.tr.MapDone = p.Now() - rt.start
 	st.binQ.Put(binMsg[V]{kind: binFinalEnd})
 }
 
@@ -383,7 +383,7 @@ func (st *rankState[V]) combineTail(p *des.Proc) {
 // discarded and the scheduler's requeue covers their re-execution.
 func (st *rankState[V]) binProc(p *des.Proc) {
 	rt := st.rt
-	node := rt.cl.NodeOfRank(st.rank)
+	node := rt.g.node(st.rank)
 	valBytes := rt.cfg.ValBytes
 	for {
 		msg := st.binQ.Get(p).(binMsg[V])
@@ -485,11 +485,12 @@ func (st *rankState[V]) handoff(p *des.Proc) {
 // and the loop still terminates on the usual end markers (every host
 // process sends them, dead GPU or not).
 func (st *rankState[V]) reduceProc(p *des.Proc) {
+	defer st.drainStaleControl()
 	rt := st.rt
 	n := rt.cfg.GPUs
 	ends := 0
 	for ends < n || rt.ft.relayDone[st.rank] < rt.ft.pendingRelay[st.rank] {
-		msg := rt.cl.Fabric.Recv(p, st.rank)
+		msg := rt.g.recv(p, st.rank)
 		st.countRecv(msg.From, msg.VirtBytes)
 		switch msg.Tag {
 		case tagPairs:
@@ -514,7 +515,7 @@ func (st *rankState[V]) reduceProc(p *des.Proc) {
 		}
 	}
 	rt.ft.closed[st.rank] = true
-	st.tr.ShuffleDone = p.Now()
+	st.tr.ShuffleDone = p.Now() - rt.start
 
 	if st.dead() && len(rt.partitionsOf(st.rank)) == 0 {
 		// Ensure the handoff ran: when the failure fired with the final
@@ -528,8 +529,8 @@ func (st *rankState[V]) reduceProc(p *des.Proc) {
 		// close this rank's own relay stream for its direct successor.
 		st.tr.RelayBytes += endMsgBytes
 		st.send(p, rt.ft.relayTo[st.rank], tagRelayDone, endMsgBytes, nil)
-		st.tr.SortDone = p.Now()
-		st.tr.ReduceDone = p.Now()
+		st.tr.SortDone = p.Now() - rt.start
+		st.tr.ReduceDone = p.Now() - rt.start
 		st.gatherPhase(p)
 		return
 	}
@@ -538,8 +539,8 @@ func (st *rankState[V]) reduceProc(p *des.Proc) {
 		for _, part := range rt.partitionsOf(st.rank) {
 			rt.outs[part] = st.mergedPartition(part)
 		}
-		st.tr.SortDone = p.Now()
-		st.tr.ReduceDone = p.Now()
+		st.tr.SortDone = p.Now() - rt.start
+		st.tr.ReduceDone = p.Now() - rt.start
 		st.gatherPhase(p)
 		return
 	}
@@ -547,9 +548,9 @@ func (st *rankState[V]) reduceProc(p *des.Proc) {
 	for _, part := range rt.partitionsOf(st.rank) {
 		st.shuffle = st.mergedPartition(part)
 		segs := st.sortStage(p)
-		st.tr.SortDone = p.Now()
+		st.tr.SortDone = p.Now() - rt.start
 		st.reduceStage(p, segs, part)
-		st.tr.ReduceDone = p.Now()
+		st.tr.ReduceDone = p.Now() - rt.start
 		if st.devPairs != nil {
 			st.devPairs.Free()
 			st.devPairs = nil
@@ -557,6 +558,26 @@ func (st *rankState[V]) reduceProc(p *des.Proc) {
 	}
 	st.recvd = nil
 	st.gatherPhase(p)
+}
+
+// drainStaleControl empties leftover fault-control messages from this
+// rank's inbox as its receive loop ends. A time-triggered fail-stop can
+// land after the rank's final end markers were already queued, leaving
+// its tagFault undequeued (the post-loop handoff compensates for the
+// missed processing). On a shared cluster the inbox belongs to the
+// *global* rank and outlives the job — a leftover control message must
+// not leak into the next tenant's shuffle. Anything other than control
+// traffic still pending here is a protocol violation and panics.
+func (st *rankState[V]) drainStaleControl() {
+	for st.rt.g.pending(st.rank) > 0 {
+		msg, _ := st.rt.g.tryRecv(st.rank)
+		switch msg.Tag {
+		case tagFault, tagRelayDone:
+			st.countRecv(msg.From, msg.VirtBytes)
+		default:
+			panic("core: non-control message left in inbox at job end: " + msg.Tag)
+		}
+	}
 }
 
 // mergedPartition concatenates this rank's accepted deliveries for one
@@ -585,7 +606,7 @@ func (st *rankState[V]) sortStage(p *des.Proc) []cudpp.Segment {
 		return nil
 	}
 	bytes := st.shuffle.VirtBytes(valBytes)
-	node := rt.cl.NodeOfRank(st.rank)
+	node := rt.g.node(st.rank)
 	if 2*bytes <= st.dev.MemFree() {
 		st.devPairs = st.dev.MustAlloc("sorted", 2*bytes, nil)
 		st.dev.CopyToDevice(p, bytes, nil)
@@ -719,7 +740,7 @@ func (st *rankState[V]) gatherPhase(p *des.Proc) {
 		}
 	}
 	for have < expect {
-		msg := rt.cl.Fabric.Recv(p, 0)
+		msg := rt.g.recv(p, 0)
 		st.countRecv(msg.From, msg.VirtBytes)
 		switch msg.Tag {
 		case tagOut:

@@ -108,7 +108,7 @@ func (rt *runtime[V]) failRank(p *des.Proc, f int) {
 	}
 	rt.ft.failed[f] = true
 	rt.traces[f].Failed = true
-	rt.traces[f].FailedAt = p.Now()
+	rt.traces[f].FailedAt = p.Now() - rt.start
 	rt.sched.fail(f)
 	if rt.ft.closed[f] {
 		// Post-shuffle injection: f's map output is fully delivered and
@@ -133,7 +133,11 @@ func (rt *runtime[V]) failRank(p *des.Proc, f int) {
 	// that traffic and its own marker then covers all of it.
 	rt.ft.relayTo[f] = s
 	rt.ft.pendingRelay[s]++
-	rt.cl.Fabric.Send(p, f, f, tagFault, endMsgBytes, nil)
+	// Count the control message in f's sent-byte provenance (same-rank,
+	// so always local) — the receive side counts it on dequeue, and the
+	// per-rank sent/recv totals must balance.
+	rt.traces[f].SentLocalBytes += endMsgBytes
+	rt.g.send(p, f, f, tagFault, endMsgBytes, nil)
 }
 
 // applyFault executes one injection-plan event.
@@ -142,7 +146,7 @@ func (rt *runtime[V]) applyFault(p *des.Proc, ev fault.Event) {
 	case fault.FailStop:
 		rt.failRank(p, ev.Rank)
 	case fault.Straggler:
-		rt.cl.Derate(ev.Rank, ev.Factor)
+		rt.g.setDerate(ev.Rank, ev.Factor)
 		if ev.Factor > rt.traces[ev.Rank].Derated {
 			rt.traces[ev.Rank].Derated = ev.Factor
 		}
@@ -161,7 +165,12 @@ func (rt *runtime[V]) afterChunk(p *des.Proc, rank, n int) {
 }
 
 // spawnInjectors schedules the plan's time-triggered events as simulated
-// processes and registers the chunk-count triggers.
+// processes and registers the chunk-count triggers. Injector processes
+// are part of the job's lifetime: a time-triggered event beyond the
+// job's natural completion extends it (and, on a shared cluster, holds
+// the gang) until the event fires — injectors must not outlive the job,
+// or a straggler event could derate a rank already leased to the next
+// tenant. Prefer chunk-count triggers in tests and scheduled jobs.
 func (rt *runtime[V]) spawnInjectors(eng *des.Engine) {
 	if rt.cfg.Faults.Empty() {
 		return
@@ -172,7 +181,7 @@ func (rt *runtime[V]) spawnInjectors(eng *des.Engine) {
 			continue
 		}
 		ev := ev
-		eng.Spawn(fmt.Sprintf("fault.inject.r%d", ev.Rank), func(p *des.Proc) {
+		rt.spawn(eng, rt.procName(fmt.Sprintf("fault.inject.r%d", ev.Rank)), func(p *des.Proc) {
 			p.Sleep(ev.At)
 			rt.applyFault(p, ev)
 		})

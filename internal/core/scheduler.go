@@ -2,7 +2,6 @@ package core
 
 import (
 	"repro/internal/des"
-	"repro/internal/fabric"
 )
 
 // StealPolicy selects how a starved rank picks the victim queue when the
@@ -82,7 +81,7 @@ type assignment struct {
 type scheduler struct {
 	chunks   []Chunk
 	queues   [][]int // chunk indices per rank
-	fab      *fabric.Fabric
+	g        *gang
 	policy   StealPolicy
 	minQueue int // victims should hold at least this many chunks
 
@@ -104,14 +103,14 @@ type scheduler struct {
 
 // newScheduler distributes chunks round-robin across ranks; assign may
 // override the initial placement (used by tests and benchmarks to create
-// imbalance and by apps with locality preferences). The fabric supplies
+// imbalance and by apps with locality preferences). The gang supplies
 // the node topology that StealLocalFirst consults; eng hosts the
 // condition starved ranks park on in resilient mode.
-func newScheduler(eng *des.Engine, chunks []Chunk, cfg Config, fab *fabric.Fabric, assign func(chunk int) int) *scheduler {
+func newScheduler(eng *des.Engine, chunks []Chunk, cfg Config, g *gang, assign func(chunk int) int) *scheduler {
 	s := &scheduler{
 		chunks:    chunks,
 		queues:    make([][]int, cfg.GPUs),
-		fab:       fab,
+		g:         g,
 		policy:    cfg.StealPolicy,
 		minQueue:  cfg.StealMinQueue,
 		resilient: cfg.resilient(),
@@ -129,7 +128,9 @@ func newScheduler(eng *des.Engine, chunks []Chunk, cfg Config, fab *fabric.Fabri
 		s.recovered[i] = -1
 		r := i % cfg.GPUs
 		if assign != nil {
-			r = assign(i)
+			// Wrap placements written for the requested GPU count into the
+			// granted gang (a scheduler may shrink the gang below request).
+			r = assign(i) % cfg.GPUs
 		}
 		s.queues[r] = append(s.queues[r], i)
 	}
@@ -154,7 +155,7 @@ func (s *scheduler) next(p *des.Proc, rank int) (assignment, bool) {
 				// Lost-chunk re-fetch: the input lives in the failed
 				// rank's host memory; charge the same transfer a steal
 				// would.
-				s.fab.Transfer(p, from, rank, s.chunks[idx].VirtBytes())
+				s.g.transfer(p, from, rank, s.chunks[idx].VirtBytes())
 			}
 			return assignment{chunk: s.chunks[idx], idx: idx, stolenFrom: -1, recoveredFrom: s.recovered[idx]}, true
 		}
@@ -165,7 +166,7 @@ func (s *scheduler) next(p *des.Proc, rank int) (assignment, bool) {
 					src = s.recovered[idx] // data still sits on the failed node
 				}
 				s.markRunning(idx, rank)
-				s.fab.Transfer(p, src, rank, s.chunks[idx].VirtBytes())
+				s.g.transfer(p, src, rank, s.chunks[idx].VirtBytes())
 				return assignment{chunk: s.chunks[idx], idx: idx, stolenFrom: victim, recoveredFrom: s.recovered[idx]}, true
 			}
 			continue // victim queue held only delivered chunks; re-scan
@@ -176,7 +177,7 @@ func (s *scheduler) next(p *des.Proc, rank int) (assignment, bool) {
 		if s.speculate {
 			if idx := s.pickBackup(rank); idx >= 0 {
 				s.backup[idx] = rank
-				s.fab.Transfer(p, s.runner[idx], rank, s.chunks[idx].VirtBytes())
+				s.g.transfer(p, s.runner[idx], rank, s.chunks[idx].VirtBytes())
 				return assignment{chunk: s.chunks[idx], idx: idx, stolenFrom: -1, recoveredFrom: -1, speculative: true}, true
 			}
 		}
@@ -363,9 +364,9 @@ func (s *scheduler) pickVictim(thief int, scope nodeScope, minLen int) int {
 func (s *scheduler) inScope(thief, r int, scope nodeScope) bool {
 	switch scope {
 	case sameNodeOnly:
-		return s.fab.SameNode(thief, r)
+		return s.g.sameNode(thief, r)
 	case otherNodeOnly:
-		return !s.fab.SameNode(thief, r)
+		return !s.g.sameNode(thief, r)
 	}
 	return true
 }

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/cluster"
 	"repro/internal/des"
 	"repro/internal/fabric"
 )
@@ -14,12 +15,18 @@ type stealChunk struct{ bytes int64 }
 func (c *stealChunk) Elems() int       { return 1 }
 func (c *stealChunk) VirtBytes() int64 { return c.bytes }
 
-// schedFixture builds a scheduler over a two-node fabric (ranks 0,1 on
+// schedFixture builds a scheduler over a two-node cluster (ranks 0,1 on
 // node 0; ranks 2,3 on node 1) with queues[r] chunks of chunkBytes
 // pre-assigned to each rank.
 func schedFixture(policy StealPolicy, minQueue int, queues [4]int, chunkBytes int64) (*des.Engine, *fabric.Fabric, *scheduler) {
 	eng := des.NewEngine()
-	fab := fabric.New(eng, fabric.QDRInfiniBand(), []int{0, 0, 1, 1})
+	cc := cluster.DefaultConfig(4)
+	cc.GPUsPerNode = 2
+	cl := cluster.New(eng, cc)
+	g, err := newGang(cl, identityRanks(4))
+	if err != nil {
+		panic(err)
+	}
 	var chunks []Chunk
 	var owner []int
 	for r, n := range queues {
@@ -29,8 +36,8 @@ func schedFixture(policy StealPolicy, minQueue int, queues [4]int, chunkBytes in
 		}
 	}
 	cfg := Config{GPUs: 4, StealPolicy: policy, StealMinQueue: minQueue}
-	s := newScheduler(eng, chunks, cfg, fab, func(c int) int { return owner[c] })
-	return eng, fab, s
+	s := newScheduler(eng, chunks, cfg, g, func(c int) int { return owner[c] })
+	return eng, cl.Fabric, s
 }
 
 // stealOnce runs one next() call for the thief inside the engine and

@@ -148,6 +148,11 @@ func (f *Fabric) TryRecv(r int) (Message, bool) {
 	return v.(Message), true
 }
 
+// Pending reports how many delivered messages sit unread in rank r's
+// inbox. Multi-tenant runs use it as a lease-end invariant: a job must
+// consume everything addressed to it before its ranks are re-leased.
+func (f *Fabric) Pending(r int) int { return f.inbox[r].Len() }
+
 // Transfer models a synchronous point-to-point bulk move (used for chunk
 // shifting during load balancing): the caller blocks for the full transfer,
 // holding both endpoints' NICs for cross-node moves.

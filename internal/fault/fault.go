@@ -63,7 +63,13 @@ type Event struct {
 	Rank int
 	// Kind selects fail-stop or straggler derating.
 	Kind Kind
-	// At is the simulated trigger time, used when AfterChunks is zero.
+	// At is the trigger time, measured from the moment the job's
+	// processes start, used when AfterChunks is zero. For an exclusive
+	// Run that is absolute simulated time (the job starts at t=0); for a
+	// job admitted by the job-level scheduler it is relative to
+	// admission. An At beyond the job's natural makespan extends the job
+	// (and, on a shared cluster, its gang lease) until the event fires —
+	// prefer AfterChunks triggers where that matters.
 	At des.Time
 	// AfterChunks, when positive, triggers the event right after the rank
 	// finishes mapping its Nth chunk (1 = after its first chunk).
@@ -85,7 +91,8 @@ func (e Event) String() string {
 	return fmt.Sprintf("r%d %s %s", e.Rank, e.Kind, trig)
 }
 
-// FailAt schedules a fail-stop of rank at simulated time at.
+// FailAt schedules a fail-stop of rank at time at (measured from the
+// job's start; see Event.At).
 func FailAt(rank int, at des.Time) Event {
 	return Event{Rank: rank, Kind: FailStop, At: at}
 }
@@ -96,7 +103,8 @@ func FailAfterChunks(rank, n int) Event {
 	return Event{Rank: rank, Kind: FailStop, AfterChunks: n}
 }
 
-// SlowdownAt derates rank by factor from simulated time at onward.
+// SlowdownAt derates rank by factor from time at onward (measured from
+// the job's start; see Event.At).
 func SlowdownAt(rank int, at des.Time, factor float64) Event {
 	return Event{Rank: rank, Kind: Straggler, At: at, Factor: factor}
 }

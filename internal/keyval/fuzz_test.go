@@ -1,0 +1,68 @@
+package keyval
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzBucketConservation feeds Bucket arbitrary key streams and partition
+// counts and checks the shuffle's bedrock invariant: partitioning never
+// loses or duplicates a pair. Physical counts across buckets sum to the
+// input count, virtual counts likewise, every pair lands in the bucket its
+// partition function names, and relative order within a bucket is
+// preserved (the stable scatter the GPU partitioner guarantees).
+func FuzzBucketConservation(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 255, 0, 0, 0}, uint8(4), int64(0))
+	f.Add([]byte{}, uint8(1), int64(9))
+	f.Add([]byte{7, 7, 7, 7, 7, 7, 7, 7, 9, 9, 9, 9}, uint8(3), int64(1000))
+	f.Fuzz(func(t *testing.T, raw []byte, nBuckets uint8, virt int64) {
+		n := int(nBuckets%16) + 1
+		var p Pairs[uint32]
+		for len(raw) >= 4 {
+			k := binary.LittleEndian.Uint32(raw[:4])
+			p.Append(k, k^0xdeadbeef)
+			raw = raw[4:]
+		}
+		if virt > 0 && p.Len() > 0 {
+			p.Virt = int64(p.Len()) + virt%(1<<40)
+		}
+		rankOf := func(k uint32) int { return int(k) % n }
+		buckets := p.Bucket(n, rankOf)
+		if len(buckets) != n {
+			t.Fatalf("Bucket returned %d buckets, want %d", len(buckets), n)
+		}
+		phys, virtSum := 0, int64(0)
+		for d, b := range buckets {
+			phys += b.Len()
+			virtSum += b.VirtLen()
+			last := -1
+			for i, k := range b.Keys {
+				if rankOf(k) != d {
+					t.Fatalf("key %d landed in bucket %d, want %d", k, d, rankOf(k))
+				}
+				if b.Vals[i] != k^0xdeadbeef {
+					t.Fatalf("key %d lost its value in bucket %d", k, d)
+				}
+				// Stability: this pair must appear in the input after the
+				// bucket's previous pair.
+				found := -1
+				for j := last + 1; j < p.Len(); j++ {
+					if p.Keys[j] == k {
+						found = j
+						break
+					}
+				}
+				if found < 0 {
+					t.Fatalf("bucket %d pair %d not found in input order", d, i)
+				}
+				last = found
+			}
+		}
+		if phys != p.Len() {
+			t.Fatalf("buckets hold %d pairs, input had %d", phys, p.Len())
+		}
+		if p.Len() > 0 && virtSum != p.VirtLen() {
+			t.Fatalf("buckets hold %d virtual pairs, input had %d", virtSum, p.VirtLen())
+		}
+	})
+}

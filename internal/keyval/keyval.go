@@ -59,6 +59,22 @@ func (p *Pairs[V]) Reset() {
 	p.Virt = 0
 }
 
+// Equal reports whether two buffers hold the same pairs in the same
+// order — the byte-identity check output-invariance tests and benchmarks
+// apply to job results. Virtual counts are cost-model bookkeeping, not
+// identity, and are not compared.
+func Equal[V comparable](a, b *Pairs[V]) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	for i := range a.Keys {
+		if a.Keys[i] != b.Keys[i] || a.Vals[i] != b.Vals[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // Clone deep-copies the buffer.
 func (p *Pairs[V]) Clone() Pairs[V] {
 	return Pairs[V]{

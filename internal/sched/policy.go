@@ -1,0 +1,121 @@
+// Package sched is GPMR's job-level scheduler: it admits a queue of
+// heterogeneous MapReduce jobs onto ONE shared simulated cluster, where
+// the paper's system dedicates the whole machine to a single job.
+//
+// The sharing model is space-sharing: each admitted job receives a gang —
+// a disjoint subset of the cluster's GPU ranks — and runs the unmodified
+// GPMR pipeline against it (see core's gang seam). Co-resident gangs
+// contend for the hardware the fabric model already prices: jobs placed on
+// the same node share its NIC pair, CPU cores, and (when packed onto the
+// same PCIe host interface card) the PCIe link, so a neighbour's shuffle
+// slows yours exactly the way the paper's Figure-2 communication wall
+// predicts. Gang placement is therefore topology-aware: whole nodes first,
+// so a job's shuffle stays on its own NICs whenever the cluster allows.
+//
+// Three admission policies size the gangs; backfill lets small jobs start
+// on idle ranks while a large one drains. See DESIGN.md, "Multi-tenancy".
+package sched
+
+import (
+	"errors"
+	"fmt"
+)
+
+// PolicyKind selects how the scheduler sizes and admits gangs.
+type PolicyKind int
+
+const (
+	// FIFOExclusive is the paper's implicit policy: jobs run strictly in
+	// arrival order, one at a time, each holding the whole cluster even
+	// when its gang is smaller. The baseline every sharing policy is
+	// measured against.
+	FIFOExclusive PolicyKind = iota
+	// FixedShare caps every gang at a fixed rank count (Policy.Share) and
+	// runs jobs concurrently while free ranks last — static partitioning,
+	// simple and predictable, wasteful when the mix is heterogeneous.
+	FixedShare
+	// WeightedFair sizes each gang by the job's weight relative to every
+	// job currently in the system (running or queued): gang =
+	// clamp(total·w/Σw, MinGang..requested). Jobs are moldable — when
+	// fewer ranks are idle than the fair share, the gang shrinks to the
+	// idle set (never below MinGang) rather than wait, which is what lets
+	// small jobs slip in while a big one drains.
+	WeightedFair
+)
+
+// String names the policy for traces and reports.
+func (k PolicyKind) String() string {
+	switch k {
+	case FIFOExclusive:
+		return "fifo-exclusive"
+	case FixedShare:
+		return "fixed-share"
+	case WeightedFair:
+		return "weighted-fair"
+	}
+	return "unknown"
+}
+
+// Policy configures admission for one scheduler run.
+type Policy struct {
+	Kind PolicyKind
+
+	// Share is the per-gang rank cap for FixedShare (required there,
+	// ignored elsewhere).
+	Share int
+
+	// NoBackfill disables skip-ahead admission for the sharing policies:
+	// by default, when the queue head does not fit on the idle ranks, the
+	// scheduler scans past it and admits any later job that does. The
+	// head is always tried first, so a head that fits is never overtaken;
+	// a head demanding more ranks than are ever simultaneously idle can
+	// still be delayed by a continuous stream of small jobs (no
+	// EASY-style reservation is made for it — future work).
+	// FIFOExclusive never backfills regardless.
+	NoBackfill bool
+}
+
+// Named validation errors. Policy and submission mistakes must surface as
+// errors before the simulation starts, never as panics inside it.
+var (
+	// ErrUnknownPolicy reports a PolicyKind outside the defined set.
+	ErrUnknownPolicy = errors.New("sched: unknown policy kind")
+	// ErrBadShare reports a FixedShare cap of zero, negative, or larger
+	// than the cluster.
+	ErrBadShare = errors.New("sched: fixed-share cap outside 1..cluster ranks")
+	// ErrBadWeight reports a negative job weight (zero defaults to 1).
+	ErrBadWeight = errors.New("sched: job weight must be >= 1")
+	// ErrGangTooBig reports a job requesting more ranks than the cluster
+	// has.
+	ErrGangTooBig = errors.New("sched: requested gang larger than cluster")
+	// ErrBadMinGang reports a MinGang that is negative or exceeds the
+	// job's requested gang.
+	ErrBadMinGang = errors.New("sched: MinGang outside 0..requested gang")
+	// ErrBadArrival reports a negative arrival time.
+	ErrBadArrival = errors.New("sched: negative arrival time")
+	// ErrNilJob reports a submission without a job.
+	ErrNilJob = errors.New("sched: submission has no job")
+	// ErrNoJobs reports an empty submission list.
+	ErrNoJobs = errors.New("sched: no jobs submitted")
+	// ErrBadCluster reports an unusable cluster shape.
+	ErrBadCluster = errors.New("sched: invalid cluster configuration")
+)
+
+// Validate checks the policy against a cluster of totalRanks.
+func (p Policy) Validate(totalRanks int) error {
+	switch p.Kind {
+	case FIFOExclusive, WeightedFair:
+	case FixedShare:
+		if p.Share < 1 || p.Share > totalRanks {
+			return fmt.Errorf("%w: Share=%d, cluster has %d", ErrBadShare, p.Share, totalRanks)
+		}
+	default:
+		return fmt.Errorf("%w: %d", ErrUnknownPolicy, int(p.Kind))
+	}
+	return nil
+}
+
+// backfills reports whether the policy skips past a blocked queue head.
+func (p Policy) backfills() bool {
+	return p.Kind != FIFOExclusive && !p.NoBackfill
+}

@@ -1,0 +1,345 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/des"
+)
+
+// JobSpec is one submission to the scheduler.
+type JobSpec struct {
+	// At is the job's arrival time in the simulation.
+	At des.Time
+	// Job is the work itself; wrap a core.Job in a core.Scheduled.
+	Job core.Runnable
+	// Weight biases WeightedFair gang sizing (default 1; ignored by the
+	// other policies).
+	Weight int
+	// MinGang is the smallest gang the job accepts when WeightedFair
+	// molds it onto idle ranks (default 1; ignored by the other
+	// policies).
+	MinGang int
+}
+
+// jobRec tracks one submission through the scheduler.
+type jobRec struct {
+	spec    JobSpec
+	id      int
+	want    int
+	weight  int
+	minGang int
+
+	arrival des.Time
+	admit   des.Time
+	finish  des.Time
+	gang    []int
+	trace   *core.Trace
+	waiting bool // in the queue
+	running bool
+}
+
+// scheduler is the admission engine for one Run.
+type scheduler struct {
+	eng   *des.Engine
+	cl    *cluster.Cluster
+	pol   Policy
+	free  []bool // by global rank
+	nFree int
+
+	queue   []*jobRec // pending, arrival order
+	recs    []*jobRec // all, submission order
+	nRun    int
+	launchE error // first LaunchOn failure, reported after the run
+}
+
+// validateSpecs checks every submission up front with named errors, so a
+// bad queue never reaches the simulation.
+func validateSpecs(specs []JobSpec, totalRanks int) error {
+	if len(specs) == 0 {
+		return ErrNoJobs
+	}
+	for i, sp := range specs {
+		if sp.Job == nil {
+			return fmt.Errorf("%w (submission %d)", ErrNilJob, i)
+		}
+		name := sp.Job.RunName()
+		if sp.At < 0 {
+			return fmt.Errorf("%w: job %q arrives at %v", ErrBadArrival, name, sp.At)
+		}
+		if sp.Weight < 0 {
+			return fmt.Errorf("%w: job %q has weight %d", ErrBadWeight, name, sp.Weight)
+		}
+		want := sp.Job.GangWant()
+		if want > totalRanks {
+			return fmt.Errorf("%w: job %q wants %d of %d ranks", ErrGangTooBig, name, want, totalRanks)
+		}
+		if sp.MinGang < 0 || sp.MinGang > want {
+			return fmt.Errorf("%w: job %q MinGang %d, want %d", ErrBadMinGang, name, sp.MinGang, want)
+		}
+		if err := sp.Job.ValidateJob(); err != nil {
+			return fmt.Errorf("sched: job %q: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// Run simulates the submitted jobs on one shared cluster under the policy
+// and returns the cluster-level trace. Everything is deterministic: the
+// same cluster, policy, and submissions produce a bit-identical trace.
+func Run(cc cluster.Config, pol Policy, specs []JobSpec) (*ClusterTrace, error) {
+	if cc.GPUs <= 0 || cc.GPUsPerNode <= 0 || cc.GPUsPerNode > cc.Node.GPUsPerNode {
+		return nil, fmt.Errorf("%w: %d GPUs, %d per node", ErrBadCluster, cc.GPUs, cc.GPUsPerNode)
+	}
+	if err := pol.Validate(cc.GPUs); err != nil {
+		return nil, err
+	}
+	if err := validateSpecs(specs, cc.GPUs); err != nil {
+		return nil, err
+	}
+
+	eng := des.NewEngine()
+	cl := cluster.New(eng, cc)
+	s := &scheduler{
+		eng:   eng,
+		cl:    cl,
+		pol:   pol,
+		free:  make([]bool, cl.Ranks()),
+		nFree: cl.Ranks(),
+	}
+	for r := range s.free {
+		s.free[r] = true
+	}
+	for i, sp := range specs {
+		rec := &jobRec{spec: sp, id: i, want: sp.Job.GangWant(), weight: sp.Weight, minGang: sp.MinGang, arrival: sp.At}
+		if rec.weight == 0 {
+			rec.weight = 1
+		}
+		if rec.minGang == 0 {
+			rec.minGang = 1
+		}
+		s.recs = append(s.recs, rec)
+	}
+	// Arrivals enter the queue in time order; submission order breaks
+	// ties, so the stream is reproducible.
+	arrivals := append([]*jobRec(nil), s.recs...)
+	sort.SliceStable(arrivals, func(i, j int) bool { return arrivals[i].arrival < arrivals[j].arrival })
+	eng.Spawn("sched.arrivals", func(p *des.Proc) {
+		for _, rec := range arrivals {
+			if d := rec.arrival - p.Now(); d > 0 {
+				p.Sleep(d)
+			}
+			rec.waiting = true
+			s.queue = append(s.queue, rec)
+			s.admit()
+		}
+	})
+	makespan := eng.Run()
+	if s.launchE != nil {
+		return nil, s.launchE
+	}
+
+	ct := &ClusterTrace{Policy: pol, Ranks: cl.Ranks(), Makespan: makespan}
+	for _, rec := range s.recs {
+		ct.Jobs = append(ct.Jobs, JobTrace{
+			ID:      rec.id,
+			Name:    rec.spec.Job.RunName(),
+			Want:    rec.want,
+			Granted: len(rec.gang),
+			Weight:  rec.weight,
+			Gang:    rec.gang,
+			Arrival: rec.arrival,
+			Admit:   rec.admit,
+			Finish:  rec.finish,
+			Trace:   rec.trace,
+		})
+	}
+	return ct, nil
+}
+
+// admit scans the queue in order, starting every job the policy lets onto
+// the idle ranks. Called on each arrival and each completion.
+func (s *scheduler) admit() {
+	i := 0
+	for i < len(s.queue) {
+		rec := s.queue[i]
+		size, ok := s.gangFor(rec)
+		if !ok {
+			if !s.pol.backfills() {
+				return
+			}
+			i++
+			continue
+		}
+		s.queue = append(s.queue[:i], s.queue[i+1:]...)
+		s.start(rec, size)
+	}
+}
+
+// gangFor decides whether rec can start now and with how many ranks.
+func (s *scheduler) gangFor(rec *jobRec) (int, bool) {
+	switch s.pol.Kind {
+	case FIFOExclusive:
+		// One tenant at a time holding the whole machine; the gang itself
+		// is the requested size (idle remainder ranks stay reserved).
+		if s.nRun > 0 {
+			return 0, false
+		}
+		return rec.want, true
+	case FixedShare:
+		size := rec.want
+		if size > s.pol.Share {
+			size = s.pol.Share
+		}
+		return size, s.nFree >= size
+	case WeightedFair:
+		// Fair share against every job currently in the system.
+		demand := 0
+		for _, r := range s.recs {
+			if r.running || r.waiting {
+				demand += r.weight
+			}
+		}
+		if demand == 0 {
+			demand = rec.weight
+		}
+		size := s.cl.Ranks() * rec.weight / demand
+		if size > rec.want {
+			size = rec.want
+		}
+		if size < rec.minGang {
+			size = rec.minGang
+		}
+		if size < 1 {
+			size = 1
+		}
+		if s.nFree >= size {
+			return size, true
+		}
+		// Moldable shrink-to-fit: start on the idle ranks rather than
+		// wait, never below the job's floor.
+		if s.nFree >= rec.minGang {
+			size = s.nFree
+			if size > rec.want {
+				size = rec.want
+			}
+			return size, true
+		}
+		return 0, false
+	}
+	return 0, false
+}
+
+// start places a gang of size ranks and launches the job on it.
+func (s *scheduler) start(rec *jobRec, size int) {
+	rec.gang = s.place(size)
+	rec.admit = s.eng.Now()
+	rec.waiting = false
+	rec.running = true
+	s.nRun++
+	err := rec.spec.Job.LaunchOn(s.eng, s.cl, rec.gang, func(tr *core.Trace) {
+		s.finish(rec, tr)
+		s.admit()
+	})
+	if err != nil {
+		// Pre-validated jobs should not fail to launch; record the first
+		// failure and release the gang so the run can drain. No recursive
+		// admit() here — start is called from inside admit's queue scan,
+		// and the outer loop picks the freed ranks up itself.
+		if s.launchE == nil {
+			s.launchE = fmt.Errorf("sched: launching job %q: %w", rec.spec.Job.RunName(), err)
+		}
+		s.finish(rec, nil)
+	}
+}
+
+// finish releases a completed job's gang. Completion callbacks re-run
+// admission afterwards; the synchronous launch-error path must not.
+func (s *scheduler) finish(rec *jobRec, tr *core.Trace) {
+	rec.finish = s.eng.Now()
+	rec.trace = tr
+	rec.running = false
+	s.nRun--
+	for _, r := range rec.gang {
+		s.free[r] = true
+		// Straggler derating injected by the tenant's fault plan is
+		// scoped to its lease: the next tenant gets nominal hardware.
+		s.cl.Derate(r, 1)
+	}
+	s.nFree += len(rec.gang)
+}
+
+// place claims size free global ranks (marking them busy), topology-aware:
+// fully-idle nodes first (a gang that owns whole nodes never splits a NIC
+// pair with a neighbour), then the tightest-fitting partial node for the
+// remainder so large idle nodes stay whole for the next big gang.
+// Deterministic: ties break toward the lowest node ID, ranks ascend within
+// a node.
+func (s *scheduler) place(size int) []int {
+	gang := make([]int, 0, size)
+	for len(gang) < size {
+		need := size - len(gang)
+		best := -1
+		bestFree := 0
+		// Tier 1: the largest fully-idle node that fits entirely.
+		for ni, node := range s.cl.Nodes {
+			free := s.freeOn(ni)
+			if free == len(node.GPUs) && free <= need && free > bestFree {
+				best, bestFree = ni, free
+			}
+		}
+		if best < 0 {
+			// Tier 2: best fit — the node with the fewest free ranks that
+			// still covers the remainder.
+			for ni := range s.cl.Nodes {
+				free := s.freeOn(ni)
+				if free >= need && (best < 0 || free < bestFree) {
+					best, bestFree = ni, free
+				}
+			}
+		}
+		if best < 0 {
+			// Tier 3: no single node covers the remainder — take the
+			// fullest idle node and keep going.
+			for ni := range s.cl.Nodes {
+				free := s.freeOn(ni)
+				if free > bestFree {
+					best, bestFree = ni, free
+				}
+			}
+		}
+		if best < 0 {
+			panic(fmt.Sprintf("sched: placing %d ranks with %d free", size, s.nFree))
+		}
+		take := bestFree
+		if take > need {
+			take = need
+		}
+		for _, dev := range s.cl.Nodes[best].GPUs {
+			if take == 0 {
+				break
+			}
+			if s.free[dev.ID] {
+				s.free[dev.ID] = false
+				s.nFree--
+				gang = append(gang, dev.ID)
+				take--
+			}
+		}
+	}
+	sort.Ints(gang)
+	return gang
+}
+
+// freeOn counts a node's idle ranks.
+func (s *scheduler) freeOn(node int) int {
+	n := 0
+	for _, dev := range s.cl.Nodes[node].GPUs {
+		if s.free[dev.ID] {
+			n++
+		}
+	}
+	return n
+}

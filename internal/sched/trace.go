@@ -1,0 +1,152 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/des"
+)
+
+// JobTrace records one job's passage through the shared cluster.
+type JobTrace struct {
+	ID      int
+	Name    string
+	Want    int // requested gang size (Config.GPUs)
+	Granted int // ranks actually received
+	Weight  int
+	Gang    []int // global cluster ranks, ascending
+
+	Arrival des.Time
+	Admit   des.Time
+	Finish  des.Time
+
+	// Trace is the job's own pipeline trace (job-relative times, the
+	// job's share of fabric traffic).
+	Trace *core.Trace
+}
+
+// Wait is the job's queue time before admission.
+func (j *JobTrace) Wait() des.Time { return j.Admit - j.Arrival }
+
+// Latency is arrival to completion — what a user of the shared cluster
+// experiences.
+func (j *JobTrace) Latency() des.Time { return j.Finish - j.Arrival }
+
+// Service is admission to completion (the job's makespan on its gang).
+func (j *JobTrace) Service() des.Time { return j.Finish - j.Admit }
+
+// Slowdown is Latency/Service: 1 means the job never waited; large values
+// mean queueing dominated its response time.
+func (j *JobTrace) Slowdown() float64 {
+	if j.Service() <= 0 {
+		return 1
+	}
+	return float64(j.Latency()) / float64(j.Service())
+}
+
+// ClusterTrace aggregates one scheduler run.
+type ClusterTrace struct {
+	Policy   Policy
+	Ranks    int
+	Makespan des.Time
+	Jobs     []JobTrace // submission order
+}
+
+// Throughput is completed jobs per simulated second.
+func (t *ClusterTrace) Throughput() float64 {
+	if t.Makespan <= 0 {
+		return 0
+	}
+	return float64(len(t.Jobs)) / t.Makespan.Seconds()
+}
+
+// WireBytes sums every job's cross-node traffic.
+func (t *ClusterTrace) WireBytes() int64 {
+	var n int64
+	for i := range t.Jobs {
+		if tr := t.Jobs[i].Trace; tr != nil {
+			n += tr.WireBytes
+		}
+	}
+	return n
+}
+
+// MeanWait averages queue time across jobs.
+func (t *ClusterTrace) MeanWait() des.Time {
+	if len(t.Jobs) == 0 {
+		return 0
+	}
+	var sum des.Time
+	for i := range t.Jobs {
+		sum += t.Jobs[i].Wait()
+	}
+	return sum / des.Time(len(t.Jobs))
+}
+
+// LatencyPercentile returns the nearest-rank pct-th percentile job
+// latency (pct in 1..100) over jobs matching pred (nil matches all).
+// Zero when nothing matches. Integer ceil keeps the rank exact — no
+// float rounding at percentile boundaries.
+func (t *ClusterTrace) LatencyPercentile(pct int, pred func(*JobTrace) bool) des.Time {
+	var lats []des.Time
+	for i := range t.Jobs {
+		if pred == nil || pred(&t.Jobs[i]) {
+			lats = append(lats, t.Jobs[i].Latency())
+		}
+	}
+	if len(lats) == 0 {
+		return 0
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	idx := (len(lats)*pct+99)/100 - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(lats) {
+		idx = len(lats) - 1
+	}
+	return lats[idx]
+}
+
+// Jain is Jain's fairness index over per-job slowdowns:
+// (Σx)² / (n·Σx²) ∈ (0,1], 1 when every job's queueing penalty is equal.
+// An exclusive policy that makes small jobs wait behind big ones spreads
+// the slowdowns and drives the index down.
+func (t *ClusterTrace) Jain() float64 {
+	if len(t.Jobs) == 0 {
+		return 1
+	}
+	var sum, sq float64
+	for i := range t.Jobs {
+		x := t.Jobs[i].Slowdown()
+		sum += x
+		sq += x * x
+	}
+	if sq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(t.Jobs)) * sq)
+}
+
+// String renders the run deterministically — the multijob golden-trace
+// tests diff this output exactly.
+func (t *ClusterTrace) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "multijob[%s]: %d ranks, %d jobs, makespan %v\n", t.Policy.Kind, t.Ranks, len(t.Jobs), t.Makespan)
+	fmt.Fprintf(&sb, "  throughput %.2f jobs/s  p50 %v  p95 %v  wait %v  jain %.3f  wire %.1f MB\n",
+		t.Throughput(), t.LatencyPercentile(50, nil), t.LatencyPercentile(95, nil),
+		t.MeanWait(), t.Jain(), float64(t.WireBytes())/1e6)
+	for i := range t.Jobs {
+		j := &t.Jobs[i]
+		gang := make([]string, len(j.Gang))
+		for k, r := range j.Gang {
+			gang[k] = fmt.Sprint(r)
+		}
+		fmt.Fprintf(&sb, "  job %2d %-10s want %2d got %2d  arr %v  wait %v  run %v  lat %v  slow %.2f  ranks [%s]\n",
+			j.ID, j.Name, j.Want, j.Granted, j.Arrival, j.Wait(), j.Service(), j.Latency(),
+			j.Slowdown(), strings.Join(gang, " "))
+	}
+	return sb.String()
+}
