@@ -1,0 +1,136 @@
+//go:build !race
+
+package gpmr_test
+
+// Wall-clock regression guard for the kernel-execution backends: the Pool
+// backend exists to cut the *harness's* host time by running kernels'
+// functional work from different simulated GPUs on real cores
+// concurrently, so this file measures host ns per job for Serial vs
+// Pool(GOMAXPROCS) on one WO size, emits the BENCH_backend.json artifact,
+// and asserts the pool is not slower than serial on the multi-GPU
+// configurations (where concurrent kernels actually exist). Simulated
+// results are byte-identical across backends — that invariant is held by
+// internal/bench's differential matrix, not here.
+//
+// Excluded under -race: race instrumentation taxes the pool's per-launch
+// synchronization (channel handoffs, future joins) far more than serial's
+// plain function calls, so wall-clock comparisons there measure the
+// detector, not the backend. The non-race CI job enforces the guard.
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/apps/wo"
+	"repro/internal/core"
+)
+
+// backendBenchParams is the guard's workload: a mid-size WO corpus with
+// enough physical data that map kernels do real host work per launch.
+func backendBenchJob(gpus, workers int) *core.Job[uint32] {
+	b := wo.NewJob(wo.Params{
+		Bytes:    64 << 20,
+		GPUs:     gpus,
+		Seed:     1,
+		PhysMax:  1 << 19, // 512 KB materialized corpus: real hashing per kernel
+		DictSize: 4300,
+	})
+	b.Job.Config.Workers = workers
+	return b.Job
+}
+
+// timeBackend returns the fastest of reps host-timed runs (job build
+// excluded — workload generation and the MPH build are backend-blind).
+func timeBackend(tb testing.TB, gpus, workers, reps int) time.Duration {
+	best := time.Duration(1<<63 - 1)
+	for i := 0; i < reps; i++ {
+		job := backendBenchJob(gpus, workers)
+		start := time.Now()
+		if _, err := job.Run(); err != nil {
+			tb.Fatal(err)
+		}
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// backendBenchRow is one configuration's measurement in the artifact.
+type backendBenchRow struct {
+	GPUs     int     `json:"gpus"`
+	SerialNs int64   `json:"serial_ns"`
+	PoolNs   int64   `json:"pool_ns"`
+	Speedup  float64 `json:"speedup"`
+}
+
+// TestBackendWallClockGuard measures Serial vs Pool(GOMAXPROCS) host time
+// on WO at 1, 4, and 8 GPUs, writes BENCH_backend.json, and fails if the
+// pool is slower than serial on the multi-GPU configs. A 25% tolerance
+// absorbs scheduler and CI timing noise — the guard catches a backend
+// whose dispatch overhead eats its concurrency, not single-digit jitter.
+func TestBackendWallClockGuard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock measurement skipped in -short")
+	}
+	type artifact struct {
+		App        string            `json:"app"`
+		VirtBytes  int64             `json:"virt_bytes"`
+		GOMAXPROCS int               `json:"gomaxprocs"`
+		Rows       []backendBenchRow `json:"rows"`
+	}
+	art := artifact{App: "wo", VirtBytes: 64 << 20, GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	const reps = 3
+	for _, gpus := range []int{1, 4, 8} {
+		serial := timeBackend(t, gpus, 0, reps)
+		pool := timeBackend(t, gpus, -1, reps)
+		art.Rows = append(art.Rows, backendBenchRow{
+			GPUs:     gpus,
+			SerialNs: serial.Nanoseconds(),
+			PoolNs:   pool.Nanoseconds(),
+			Speedup:  float64(serial) / float64(pool),
+		})
+		t.Logf("wo %d GPUs: serial %v, pool(%d) %v, speedup %.2fx",
+			gpus, serial, art.GOMAXPROCS, pool, float64(serial)/float64(pool))
+	}
+	data, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_backend.json", append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if art.GOMAXPROCS < 2 {
+		t.Skip("single-core host: pool cannot beat serial, regression assert skipped")
+	}
+	for _, row := range art.Rows {
+		if row.GPUs < 4 {
+			continue // single-GPU has no concurrent kernels to win on
+		}
+		if float64(row.PoolNs) > 1.25*float64(row.SerialNs) {
+			t.Errorf("wo %d GPUs: pool %v slower than serial %v beyond tolerance",
+				row.GPUs, time.Duration(row.PoolNs), time.Duration(row.SerialNs))
+		}
+	}
+}
+
+// BenchmarkBackendSerial and BenchmarkBackendPool expose the same
+// comparison through `go test -bench=Backend` for profiling sessions.
+func BenchmarkBackendSerial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := backendBenchJob(8, 0).Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBackendPool(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := backendBenchJob(8, -1).Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

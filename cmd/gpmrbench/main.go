@@ -11,9 +11,17 @@
 //	gpmrbench -exp table2 -phys 1048576 # higher functional fidelity
 //	gpmrbench -exp faults               # fault recovery & speculation
 //	gpmrbench -exp multijob             # multi-tenant scheduling policies
+//	gpmrbench -exp multijob -workers 4  # kernel work on 4 host cores
 //
 // Larger -phys materializes more physical data per run (slower, more
 // faithful functionally); simulated costs always use paper-scale sizes.
+//
+// -workers selects the kernel-execution backend: 0 (default) runs every
+// kernel's functional closure inline on its simulated GPU process, N >= 1
+// dispatches closures to a pool of N real worker goroutines, and -1 uses
+// one worker per host core. Results and traces are byte-identical across
+// backends — the pool only cuts the harness's wall-clock by running
+// map/sort/reduce work from different simulated GPUs concurrently.
 package main
 
 import (
@@ -36,9 +44,10 @@ func main() {
 	benchName := flag.String("bench", "", "benchmark for fig3/weak (mm|sio|wo|kmc|lr; empty = all)")
 	phys := flag.Int("phys", 1<<16, "physical element budget per run")
 	seed := flag.Uint64("seed", 1, "workload seed")
+	workers := flag.Int("workers", 0, "kernel-execution workers: 0 = serial, N = pool(N), -1 = pool(all cores)")
 	flag.Parse()
 
-	o := bench.Options{PhysBudget: *phys, Seed: *seed}
+	o := bench.Options{PhysBudget: *phys, Seed: *seed, Workers: *workers}
 	out := os.Stdout
 
 	benches := bench.Benchmarks

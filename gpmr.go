@@ -20,6 +20,12 @@
 // DESIGN.md for the substitution argument and EXPERIMENTS.md for
 // paper-vs-measured results.
 //
+// Kernels' functional work can execute on a pool of real host cores
+// (Config.Workers; DESIGN.md, "Execution backends"): the simulated
+// schedule and every output byte are identical to the serial default —
+// proven by a differential test matrix — while work from different
+// simulated GPUs runs concurrently, cutting the simulator's wall-clock.
+//
 // # Quick start
 //
 // Implement a Mapper (and usually a Reducer), wrap your input as Chunks,

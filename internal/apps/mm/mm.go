@@ -275,6 +275,9 @@ func (b *Built) Run() (perRank []map[uint32]tile, tr1, tr2 *core.Trace, err erro
 			VirtFactor:  1,
 			ValBytes:    b.Tv * b.Tv * 4,
 			DisableSort: true,
+			// The second pass runs on whatever execution backend the first
+			// was configured with.
+			Workers: b.Job1.Config.Workers,
 		},
 		Chunks:      chunks,
 		Assign:      func(ci int) int { return assignCopy[ci] },

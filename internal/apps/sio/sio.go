@@ -163,7 +163,7 @@ func (partialReducer) PartialReduce(ctx *core.MapContext[uint32], pairs *keyval.
 		BytesRead:      float64(virtN * 8),
 		BytesWritten:   float64(virtN * 8), // ~no compaction on sparse keys
 	}
-	ctx.LaunchFor(spec.Cost(ctx.Dev.Props), func() {
+	ctx.LaunchForNamed(spec.Name, spec.Cost(ctx.Dev.Props), func() {
 		sums := make(map[uint32]uint32, pairs.Len())
 		order := make([]uint32, 0, pairs.Len())
 		for i, k := range pairs.Keys {

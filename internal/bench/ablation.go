@@ -36,11 +36,13 @@ func Ablation(o Options) ([]AblationRow, error) {
 	// Accumulation ablations at mid-size inputs on 8 GPUs.
 	{
 		base := wo.NewJob(wo.Params{Bytes: 64 << 20, GPUs: 8, PhysMax: o.PhysBudget, DictSize: woDict(o), Seed: o.Seed})
+		base.Job.Config.Workers = o.Workers
 		rb, err := base.Job.Run()
 		if err != nil {
 			return nil, err
 		}
 		noacc := wo.NewJob(wo.Params{Bytes: 64 << 20, GPUs: 8, PhysMax: o.PhysBudget, DictSize: woDict(o), Seed: o.Seed, NoAccumulation: true})
+		noacc.Job.Config.Workers = o.Workers
 		rn, err := noacc.Job.Run()
 		if err != nil {
 			return nil, err
@@ -49,11 +51,13 @@ func Ablation(o Options) ([]AblationRow, error) {
 	}
 	{
 		base := kmc.NewJob(kmc.Params{Points: 32 << 20, GPUs: 8, PhysMax: o.PhysBudget, Seed: o.Seed})
+		base.Job.Config.Workers = o.Workers
 		rb, err := base.Job.Run()
 		if err != nil {
 			return nil, err
 		}
 		noacc := kmc.NewJob(kmc.Params{Points: 32 << 20, GPUs: 8, PhysMax: o.PhysBudget, Seed: o.Seed, NoAccumulation: true})
+		noacc.Job.Config.Workers = o.Workers
 		rn, err := noacc.Job.Run()
 		if err != nil {
 			return nil, err
@@ -62,11 +66,13 @@ func Ablation(o Options) ([]AblationRow, error) {
 	}
 	{
 		base := lr.NewJob(lr.Params{Points: 64 << 20, GPUs: 8, PhysMax: o.PhysBudget, Seed: o.Seed})
+		base.Job.Config.Workers = o.Workers
 		rb, err := base.Job.Run()
 		if err != nil {
 			return nil, err
 		}
 		noacc := lr.NewJob(lr.Params{Points: 64 << 20, GPUs: 8, PhysMax: o.PhysBudget, Seed: o.Seed, NoAccumulation: true})
+		noacc.Job.Config.Workers = o.Workers
 		rn, err := noacc.Job.Run()
 		if err != nil {
 			return nil, err
@@ -77,17 +83,20 @@ func Ablation(o Options) ([]AblationRow, error) {
 	// SIO's rejected substages.
 	{
 		base, _ := sio.NewJob(sio.Params{Elements: 32 << 20, GPUs: 8, PhysMax: o.PhysBudget, Seed: o.Seed})
+		base.Config.Workers = o.Workers
 		rb, err := base.Run()
 		if err != nil {
 			return nil, err
 		}
 		pr, _ := sio.NewJob(sio.Params{Elements: 32 << 20, GPUs: 8, PhysMax: o.PhysBudget, Seed: o.Seed, UsePartialReduce: true})
+		pr.Config.Workers = o.Workers
 		rp, err := pr.Run()
 		if err != nil {
 			return nil, err
 		}
 		add("sio: partial reduce", rb.Trace.Wall, rp.Trace.Wall)
 		cb, _ := sio.NewJob(sio.Params{Elements: 32 << 20, GPUs: 8, PhysMax: o.PhysBudget, Seed: o.Seed, UseCombiner: true})
+		cb.Config.Workers = o.Workers
 		rc, err := cb.Run()
 		if err != nil {
 			return nil, err
@@ -99,11 +108,13 @@ func Ablation(o Options) ([]AblationRow, error) {
 	// GPUs the single-reducer configuration must win.
 	{
 		on := wo.NewJob(wo.Params{Bytes: 512 << 20, GPUs: 64, PhysMax: o.PhysBudget, DictSize: woDict(o), Seed: o.Seed, ForcePartitioner: 1})
+		on.Job.Config.Workers = o.Workers
 		ron, err := on.Job.Run()
 		if err != nil {
 			return nil, err
 		}
 		off := wo.NewJob(wo.Params{Bytes: 512 << 20, GPUs: 64, PhysMax: o.PhysBudget, DictSize: woDict(o), Seed: o.Seed, ForcePartitioner: -1})
+		off.Job.Config.Workers = o.Workers
 		roff, err := off.Job.Run()
 		if err != nil {
 			return nil, err
@@ -114,11 +125,13 @@ func Ablation(o Options) ([]AblationRow, error) {
 	// GPUDirect: the paper's closing hardware wish, as a what-if.
 	{
 		base, _ := sio.NewJob(sio.Params{Elements: 128 << 20, GPUs: 64, PhysMax: o.PhysBudget, Seed: o.Seed})
+		base.Config.Workers = o.Workers
 		rb, err := base.Run()
 		if err != nil {
 			return nil, err
 		}
 		direct, _ := sio.NewJob(sio.Params{Elements: 128 << 20, GPUs: 64, PhysMax: o.PhysBudget, Seed: o.Seed})
+		direct.Config.Workers = o.Workers
 		direct.Config.GPUDirect = true
 		rd, err := direct.Run()
 		if err != nil {

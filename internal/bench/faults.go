@@ -57,6 +57,7 @@ func faultJob(o Options) *core.Job[uint32] {
 		ChunkCap: 1 << 20, // many small chunks: failures always strike mid-map
 	})
 	job.Config.GatherOutput = true
+	job.Config.Workers = o.Workers
 	return job
 }
 

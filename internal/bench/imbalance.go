@@ -48,6 +48,7 @@ func Imbalance(o Options) ([]ImbalanceRow, error) {
 			ChunkCap: 1 << 20, // many small chunks: plenty of steal events
 		})
 		job.Config.StealPolicy = policy
+		job.Config.Workers = o.Workers
 		job.Assign = func(chunk int) int { return (chunk % 2) * 4 }
 		res, err := job.Run()
 		if err != nil {

@@ -34,6 +34,11 @@ type Options struct {
 	GPUCounts []int
 	// Seed for workload generation.
 	Seed uint64
+	// Workers selects the kernel-execution backend for every experiment's
+	// jobs (see core.Config.Workers): 0 = serial, n >= 1 = pool(n),
+	// negative = pool(GOMAXPROCS). Results are byte-identical across
+	// backends; only harness wall-clock changes.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -63,6 +68,7 @@ func Run(benchName string, size int64, gpus int, o Options) (des.Time, *core.Tra
 		if err != nil {
 			return 0, nil, err
 		}
+		b.Job1.Config.Workers = o.Workers
 		_, tr1, tr2, err := b.Run()
 		if err != nil {
 			return 0, nil, err
@@ -78,6 +84,7 @@ func Run(benchName string, size int64, gpus int, o Options) (des.Time, *core.Tra
 		return tr.Wall, tr, nil
 	case "sio":
 		job, _ := sio.NewJob(sio.Params{Elements: size, GPUs: gpus, Seed: o.Seed, PhysMax: o.PhysBudget})
+		job.Config.Workers = o.Workers
 		res, err := job.Run()
 		if err != nil {
 			return 0, nil, err
@@ -85,6 +92,7 @@ func Run(benchName string, size int64, gpus int, o Options) (des.Time, *core.Tra
 		return res.Trace.Wall, res.Trace, nil
 	case "wo":
 		b := wo.NewJob(wo.Params{Bytes: size, GPUs: gpus, Seed: o.Seed, PhysMax: o.PhysBudget, DictSize: woDict(o)})
+		b.Job.Config.Workers = o.Workers
 		res, err := b.Job.Run()
 		if err != nil {
 			return 0, nil, err
@@ -92,6 +100,7 @@ func Run(benchName string, size int64, gpus int, o Options) (des.Time, *core.Tra
 		return res.Trace.Wall, res.Trace, nil
 	case "kmc":
 		b := kmc.NewJob(kmc.Params{Points: size, GPUs: gpus, Seed: o.Seed, PhysMax: o.PhysBudget})
+		b.Job.Config.Workers = o.Workers
 		res, err := b.Job.Run()
 		if err != nil {
 			return 0, nil, err
@@ -99,6 +108,7 @@ func Run(benchName string, size int64, gpus int, o Options) (des.Time, *core.Tra
 		return res.Trace.Wall, res.Trace, nil
 	case "lr":
 		b := lr.NewJob(lr.Params{Points: size, GPUs: gpus, Seed: o.Seed, PhysMax: o.PhysBudget})
+		b.Job.Config.Workers = o.Workers
 		res, err := b.Job.Run()
 		if err != nil {
 			return 0, nil, err

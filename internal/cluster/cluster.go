@@ -62,6 +62,15 @@ type Config struct {
 	GPU         gpu.Props
 	PCIe        gpu.PCIeProps
 	Fabric      fabric.Props
+
+	// Workers selects the kernel-execution backend every device of this
+	// cluster shares: 0 runs closures inline on the simulated process
+	// (Serial, the default), n >= 1 dispatches them to a pool of n real
+	// worker goroutines, and negative means pool(GOMAXPROCS). The DES
+	// schedule and all outputs are identical either way; only host
+	// wall-clock changes. Callers that set Workers != 0 must Close the
+	// cluster after the engine finishes.
+	Workers int
 }
 
 // DefaultConfig returns the paper's testbed scaled to nGPUs ranks, packing
@@ -83,12 +92,13 @@ func DefaultConfig(nGPUs int) Config {
 
 // Cluster is the assembled machine for one job.
 type Cluster struct {
-	Eng    *des.Engine
-	Cfg    Config
-	Nodes  []*Node
-	GPUs   []*gpu.Device // indexed by rank
-	Fabric *fabric.Fabric
-	nodeOf []int
+	Eng     *des.Engine
+	Cfg     Config
+	Nodes   []*Node
+	GPUs    []*gpu.Device // indexed by rank
+	Fabric  *fabric.Fabric
+	nodeOf  []int
+	backend gpu.Backend
 }
 
 // New builds a cluster per cfg on the given engine.
@@ -123,8 +133,20 @@ func New(eng *des.Engine, cfg Config) *Cluster {
 	}
 	c.nodeOf = nodeOf
 	c.Fabric = fabric.New(eng, cfg.Fabric, nodeOf)
+	c.backend = gpu.NewBackend(cfg.Workers)
+	for _, dev := range c.GPUs {
+		dev.SetBackend(c.backend)
+	}
 	return c
 }
+
+// Backend returns the kernel-execution backend shared by the cluster's
+// devices.
+func (c *Cluster) Backend() gpu.Backend { return c.backend }
+
+// Close releases the execution backend's workers. Call after the engine
+// has run to completion; idempotent, and a no-op for the Serial backend.
+func (c *Cluster) Close() { c.backend.Close() }
 
 // NodeOfRank returns the node hosting the given rank.
 func (c *Cluster) NodeOfRank(r int) *Node { return c.Nodes[c.nodeOf[r]] }

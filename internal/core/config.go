@@ -79,6 +79,19 @@ type Config struct {
 	// streaming-pipeline requirement as Faults.
 	Speculate bool
 
+	// Workers selects the kernel-execution backend for exclusive runs:
+	// 0 executes every kernel's functional closure inline on its
+	// simulated process (Serial, today's default), n >= 1 dispatches
+	// closures to a pool of n real worker goroutines, negative means
+	// pool(GOMAXPROCS). The simulated schedule, every trace, and every
+	// output byte are identical across backends — the pool only lets
+	// map/sort/reduce work from different simulated GPUs occupy real
+	// host cores concurrently, cutting simulator wall-clock. Scheduled
+	// (multi-tenant) runs take the backend from the shared
+	// cluster.Config.Workers instead; see sched.Run. See DESIGN.md,
+	// "Execution backends".
+	Workers int
+
 	// StealMinQueue is the minimum number of queued chunks a victim
 	// should hold to justify a shift (default 2: don't rob a queue of
 	// its only chunk — its owner will finish it sooner locally). For
@@ -144,6 +157,14 @@ func (c Config) withDefaults() (Config, error) {
 	if c.Cluster == nil {
 		cc := cluster.DefaultConfig(c.GPUs)
 		c.Cluster = &cc
+	} else {
+		cc := *c.Cluster // never mutate the caller's cluster config
+		c.Cluster = &cc
+	}
+	if c.Cluster.Workers == 0 {
+		// The job-level knob flows into the machine it builds; an explicit
+		// cluster-level setting wins.
+		c.Cluster.Workers = c.Workers
 	}
 	if c.Cluster.GPUs != c.GPUs {
 		return c, fmt.Errorf("core: cluster config has %d GPUs, job wants %d", c.Cluster.GPUs, c.GPUs)

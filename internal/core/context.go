@@ -9,6 +9,18 @@ import (
 // MapContext is the mapper's window onto the device and the pipeline. One
 // context lives per rank for the whole map stage, so accumulation state
 // carries across chunks.
+//
+// Closure-capture contract: a kernel closure passed to Launch/LaunchFor
+// may run on a real worker goroutine, concurrently with every other
+// simulated process, and joins no later than the kernel's simulated
+// completion (see gpu.Backend). Inside the closure, only touch state this
+// rank's map process owns — the context's emission buffer (Emit,
+// EmitPairs), its Resident() pairs, the chunk being mapped, and locals of
+// the enclosing Map call — plus immutable shared inputs (lookup tables,
+// centers, matrices). Never call the context's Launch/LaunchFor, the
+// device, or any des primitive from inside a closure, and never touch
+// state reachable from another rank. Everything outside the closure runs
+// on the simulated process as before.
 type MapContext[V any] struct {
 	Rank     int
 	NumRanks int
@@ -28,9 +40,16 @@ func (c *MapContext[V]) Launch(spec gpu.KernelSpec, fn func()) des.Time {
 	return c.Dev.Launch(c.Proc, spec, fn)
 }
 
-// LaunchFor charges a precomputed kernel-sequence cost.
+// LaunchFor charges a precomputed kernel-sequence cost. Prefer
+// LaunchForNamed where a kernel name is known.
 func (c *MapContext[V]) LaunchFor(cost des.Time, fn func()) des.Time {
 	return c.Dev.LaunchFor(c.Proc, cost, fn)
+}
+
+// LaunchForNamed is LaunchFor with an explicit kernel-sequence name for
+// leak and panic diagnostics.
+func (c *MapContext[V]) LaunchForNamed(name string, cost des.Time, fn func()) des.Time {
+	return c.Dev.LaunchForNamed(c.Proc, name, cost, fn)
 }
 
 // Emit appends one pair to the current chunk's output. Use EmitPairs for
@@ -56,7 +75,10 @@ func (c *MapContext[V]) Emitted() *keyval.Pairs[V] { return &c.out }
 // resident set is typically small and independent of input size).
 func (c *MapContext[V]) Resident() *keyval.Pairs[V] { return &c.resident }
 
-// ReduceContext is the reducer's window onto the device.
+// ReduceContext is the reducer's window onto the device. Kernel closures
+// obey the same capture contract as MapContext's: touch only this rank's
+// reduce-owned state (the context's emission buffer, the sorted
+// keys/segs/vals slices passed to Reduce) and immutable shared inputs.
 type ReduceContext[V any] struct {
 	Rank     int
 	NumRanks int

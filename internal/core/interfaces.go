@@ -34,6 +34,15 @@ type Chunk interface {
 // launches kernels through ctx (charging the simulated GPU) and emits
 // key–value pairs with ctx.Emit, or folds them into ctx.Resident() when the
 // job uses Accumulation.
+//
+// One Mapper instance is shared by every rank (and, under speculation, by
+// twin copies of one chunk running concurrently), and its kernel closures
+// may execute on a worker pool: any state on the Mapper itself must be
+// immutable after construction — per-rank mutable state belongs on the
+// context (Resident, Emit) or in the chunk. Chunks are read-only during
+// Map for the same reason: a speculative twin may be reading the same
+// chunk at the same host instant. See MapContext's closure-capture
+// contract.
 type Mapper[V any] interface {
 	Map(ctx *MapContext[V], c Chunk)
 }

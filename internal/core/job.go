@@ -81,6 +81,7 @@ func (j *Job[V]) Run() (*Result[V], error) {
 	}
 	eng := des.NewEngine()
 	cl := cluster.New(eng, *cfg.Cluster)
+	defer cl.Close()
 	var res *Result[V]
 	if err := j.launchOn(eng, cl, identityRanks(cfg.GPUs), func(r *Result[V]) { res = r }); err != nil {
 		return nil, err

@@ -302,6 +302,10 @@ func (st *rankState[V]) partitionAndBin(p *des.Proc, out keyval.Pairs[V], chunkI
 			BytesWritten:     float64(vb) / 2,
 			UncoalescedBytes: float64(vb) / 2, // bucket scatter
 		}
+		// Explicit input/output: the closure reads only the moved-out pair
+		// buffer (this proc owns it; the context's emit buffer was already
+		// replaced) and writes only the local buckets slice read after the
+		// kernel joins. Partitioner.Rank is pure by contract.
 		st.dev.Launch(p, spec, func() {
 			buckets = out.Bucket(n, func(k uint32) int { return part.Rank(k, n) })
 		})
@@ -355,11 +359,11 @@ func (st *rankState[V]) combineTail(p *des.Proc) {
 		vb := piece.VirtBytes(valBytes)
 		buf := st.dev.MustAlloc("combine", vb*2, nil) // data + sort scratch
 		st.dev.CopyToDevice(p, vb, nil)
-		st.dev.LaunchFor(p, rt.sorter.SortCost(st.dev.Props, piece.VirtLen(), valBytes), func() {
+		st.dev.LaunchForNamed(p, "gpmr.combine.sort", rt.sorter.SortCost(st.dev.Props, piece.VirtLen(), valBytes), func() {
 			cudpp.SortPairs(piece.Keys, piece.Vals)
 		})
 		var segs []cudpp.Segment
-		st.dev.LaunchFor(p, cudpp.SegmentsCost(st.dev.Props, piece.VirtLen()), func() {
+		st.dev.LaunchForNamed(p, "gpmr.combine.segments", cudpp.SegmentsCost(st.dev.Props, piece.VirtLen()), func() {
 			segs = cudpp.Segments(piece.Keys)
 		})
 		st.mctx.out.Reset()
@@ -610,12 +614,19 @@ func (st *rankState[V]) sortStage(p *des.Proc) []cudpp.Segment {
 	if 2*bytes <= st.dev.MemFree() {
 		st.devPairs = st.dev.MustAlloc("sorted", 2*bytes, nil)
 		st.dev.CopyToDevice(p, bytes, nil)
-		st.dev.LaunchFor(p, rt.sorter.SortCost(st.dev.Props, virtN, valBytes), func() {
-			cudpp.SortPairs(st.shuffle.Keys, st.shuffle.Vals)
+		// Kernel closures take explicit inputs (locals bound here) rather
+		// than reaching through st: on a pooled backend they run
+		// concurrently with every other simulated process, and the
+		// explicit binding makes the ownership handoff auditable — these
+		// slices are this partition's private merge buffer until the
+		// closure joins.
+		keys, vals := st.shuffle.Keys, st.shuffle.Vals
+		st.dev.LaunchForNamed(p, "gpmr.sort", rt.sorter.SortCost(st.dev.Props, virtN, valBytes), func() {
+			cudpp.SortPairs(keys, vals)
 		})
 		var segs []cudpp.Segment
-		st.dev.LaunchFor(p, cudpp.SegmentsCost(st.dev.Props, virtN), func() {
-			segs = cudpp.Segments(st.shuffle.Keys)
+		st.dev.LaunchForNamed(p, "gpmr.segments", cudpp.SegmentsCost(st.dev.Props, virtN), func() {
+			segs = cudpp.Segments(keys)
 		})
 		st.sortedIn = true
 		return segs

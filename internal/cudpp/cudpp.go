@@ -180,7 +180,7 @@ func SortPairsCost(pr gpu.Props, virtN int64, valBytes int64) des.Time {
 // modeled radix-sort time for virtN virtual pairs.
 func DeviceSortPairs[V any](p *des.Proc, d *gpu.Device, keys []uint32, vals []V, virtN int64, valBytes int64) des.Time {
 	cost := SortPairsCost(d.Props, virtN, valBytes)
-	return d.LaunchFor(p, cost, func() {
+	return d.LaunchForNamed(p, "cudpp.sortpairs", cost, func() {
 		SortPairs(keys, vals)
 	})
 }
@@ -231,7 +231,7 @@ func SegmentsCost(pr gpu.Props, virtN int64) des.Time {
 func DeviceSegments(p *des.Proc, d *gpu.Device, keys []uint32, virtN int64) ([]Segment, des.Time) {
 	var segs []Segment
 	cost := SegmentsCost(d.Props, virtN)
-	d.LaunchFor(p, cost, func() {
+	d.LaunchForNamed(p, "cudpp.segments", cost, func() {
 		segs = Segments(keys)
 	})
 	return segs, cost

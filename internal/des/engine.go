@@ -40,6 +40,10 @@ type Engine struct {
 	live    int // spawned but not finished
 	blocked int // parked with no pending wake event
 	running bool
+	// openFutures tracks join obligations for host work dispatched outside
+	// the simulation (see future.go). Mutated only from the engine's
+	// serialized goroutines; Run refuses to shut down while any remain.
+	openFutures map[*Future]struct{}
 }
 
 type yieldMsg struct {
@@ -50,7 +54,7 @@ type yieldMsg struct {
 
 // NewEngine returns an empty simulation at time zero.
 func NewEngine() *Engine {
-	return &Engine{yield: make(chan yieldMsg)}
+	return &Engine{yield: make(chan yieldMsg), openFutures: make(map[*Future]struct{})}
 }
 
 // Now returns the current simulated time.
@@ -179,6 +183,14 @@ func (e *Engine) Run() Time {
 		if msg.done {
 			e.live--
 		}
+	}
+	if len(e.openFutures) > 0 {
+		names := make([]string, 0, len(e.openFutures))
+		for f := range e.openFutures {
+			names = append(names, f.name)
+		}
+		sort.Strings(names)
+		panic(fmt.Sprintf("des: engine shut down with %d unjoined future(s): %v", len(names), names))
 	}
 	return e.now
 }

@@ -1,0 +1,87 @@
+package des
+
+import "fmt"
+
+// FuturePanic is the value Join re-panics when host work failed: it names
+// the future (the kernel) and carries the worker's original panic value,
+// so a recover() upstream can still match the underlying cause by type or
+// value while the engine's report stays kernel-labeled.
+type FuturePanic struct {
+	Future string
+	Value  any
+}
+
+// String renders the kernel-labeled report the engine's process-panic
+// path prints via %v.
+func (p FuturePanic) String() string {
+	return fmt.Sprintf("future %q panicked: %v", p.Future, p.Value)
+}
+
+// Future is the engine's join primitive for host work that runs OUTSIDE
+// the simulation: a functional closure dispatched to a real worker
+// goroutine while the simulated process that issued it sleeps through the
+// work's modeled duration. A Future carries no simulated time — Complete
+// and Fail happen in host time on the worker, and Join blocks the owning
+// process's OS goroutine (never the simulation clock) until the result is
+// in. Because no engine interaction happens between dispatch and join, the
+// DES event schedule is bit-identical whether the work ran inline or on a
+// worker; only host wall-clock changes.
+//
+// Protocol:
+//
+//   - The worker calls exactly one of Complete or Fail, exactly once.
+//   - A simulated process calls Join before depending on the work's
+//     effects — at the latest when the simulated operation that covers
+//     the work completes. Join re-panics a Fail value in the joining
+//     process, so the engine's normal panic report names the process
+//     that launched the work.
+//   - Every future must be joined before the engine shuts down: Run
+//     panics on leaked futures, naming them. An unjoined future means
+//     host work whose effects the simulation never ordered — a
+//     correctness bug, not a cleanup detail.
+type Future struct {
+	eng  *Engine
+	name string
+	done chan struct{}
+	pnc  any
+}
+
+// NewFuture registers a join obligation with the engine and returns the
+// handle the worker completes and the owning process joins. It must be
+// called from the engine's owning goroutine or a running process (like
+// all engine state, the open-future set is engine-serialized).
+func (e *Engine) NewFuture(name string) *Future {
+	f := &Future{eng: e, name: name, done: make(chan struct{})}
+	e.openFutures[f] = struct{}{}
+	return f
+}
+
+// OpenFutures reports how many futures have been created but not joined.
+func (e *Engine) OpenFutures() int { return len(e.openFutures) }
+
+// Name returns the label given at creation (typically the kernel name).
+func (f *Future) Name() string { return f.name }
+
+// Complete marks the work finished. Called from the worker goroutine; the
+// channel close publishes every write the worker made to the joiner.
+func (f *Future) Complete() { close(f.done) }
+
+// Fail records a panic value recovered from the work and completes the
+// future; Join re-panics it in the joining process.
+func (f *Future) Fail(pnc any) {
+	f.pnc = pnc
+	close(f.done)
+}
+
+// Join blocks the calling process's goroutine until the future completes,
+// discharges the engine's join obligation, and re-panics any Fail value
+// wrapped in a FuturePanic (preserving the worker's original panic value
+// for upstream recover() matching). It must be called from a process of
+// the owning engine (the open-future set is engine-serialized state).
+func (f *Future) Join() {
+	<-f.done
+	delete(f.eng.openFutures, f)
+	if f.pnc != nil {
+		panic(FuturePanic{Future: f.name, Value: f.pnc})
+	}
+}

@@ -1,0 +1,173 @@
+package des
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestFutureJoinOrderings is the table-driven contract test for the
+// engine's join primitive: a future completed before the join returns
+// immediately; a future still running at the join blocks the joining
+// process's host goroutine (never the simulated clock) until the worker
+// fires Complete.
+func TestFutureJoinOrderings(t *testing.T) {
+	cases := []struct {
+		name string
+		// fire arranges for Complete to be called: before returns only
+		// after the future completed; at fires it from a worker goroutine
+		// released by the join reaching its blocking point.
+		joinBeforeFire bool
+	}{
+		{name: "join-before-fire", joinBeforeFire: false},
+		{name: "join-at-fire", joinBeforeFire: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			e := NewEngine()
+			var result int
+			var joinedAt Time
+			e.Spawn("launcher", func(p *Proc) {
+				f := e.NewFuture("k")
+				if tc.joinBeforeFire {
+					// Worker still running when Join is reached: release
+					// it only once this goroutine is committed to joining.
+					release := make(chan struct{})
+					go func() {
+						<-release
+						result = 42
+						f.Complete()
+					}()
+					p.Sleep(3 * Microsecond)
+					close(release)
+				} else {
+					// Worker already done before the simulated completion.
+					done := make(chan struct{})
+					go func() {
+						result = 42
+						f.Complete()
+						close(done)
+					}()
+					<-done
+					p.Sleep(3 * Microsecond)
+				}
+				f.Join()
+				joinedAt = p.Now()
+				if result != 42 {
+					t.Errorf("worker effects not visible after Join: %d", result)
+				}
+			})
+			end := e.Run()
+			if joinedAt != 3*Microsecond || end != 3*Microsecond {
+				t.Errorf("join moved the simulated clock: joined at %v, end %v, want 3µs",
+					joinedAt, end)
+			}
+			if n := e.OpenFutures(); n != 0 {
+				t.Errorf("%d future(s) still open after join", n)
+			}
+		})
+	}
+}
+
+// mustPanic runs fn and returns the recovered panic message, failing the
+// test if fn returns normally.
+func mustPanic(t *testing.T, fn func()) string {
+	t.Helper()
+	var msg string
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				msg = toString(r)
+			} else {
+				t.Fatal("expected a panic")
+			}
+		}()
+		fn()
+	}()
+	return msg
+}
+
+func toString(v any) string { return fmt.Sprintf("%v", v) }
+
+// TestFuturePanicPropagation: a Fail from a pooled closure re-panics in
+// the joining process, and the engine's normal panic report names that
+// process — the same diagnostics path as an inline panic.
+func TestFuturePanicPropagation(t *testing.T) {
+	e := NewEngine()
+	e.Spawn("victim", func(p *Proc) {
+		f := e.NewFuture("exploding-kernel")
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			defer func() {
+				if r := recover(); r != nil {
+					f.Fail(r)
+				}
+			}()
+			panic("boom in worker")
+		}()
+		<-done
+		p.Sleep(Microsecond)
+		f.Join()
+		t.Error("join returned past a failed future")
+	})
+	msg := mustPanic(t, func() { e.Run() })
+	for _, want := range []string{"victim", "exploding-kernel", "boom in worker"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("panic %q does not mention %q", msg, want)
+		}
+	}
+}
+
+// TestFuturePanicPreservesValue: the re-panic wraps rather than flattens,
+// so upstream recovery can still match the worker's original panic value —
+// backend choice must not change observable failure behavior beyond the
+// added kernel label.
+func TestFuturePanicPreservesValue(t *testing.T) {
+	type sentinel struct{ code int }
+	e := NewEngine()
+	var recovered any
+	e.Spawn("catcher", func(p *Proc) {
+		f := e.NewFuture("k")
+		done := make(chan struct{})
+		go func() {
+			f.Fail(sentinel{code: 7})
+			close(done)
+		}()
+		<-done
+		func() {
+			defer func() { recovered = recover() }()
+			f.Join()
+		}()
+	})
+	e.Run()
+	fp, ok := recovered.(FuturePanic)
+	if !ok {
+		t.Fatalf("recovered %T, want FuturePanic", recovered)
+	}
+	if fp.Future != "k" || fp.Value != (sentinel{code: 7}) {
+		t.Errorf("FuturePanic = %+v, want future k with original sentinel", fp)
+	}
+}
+
+// TestEngineShutdownWithOutstandingFutures: Run refuses to shut down while
+// join obligations remain, naming the leaked futures. An unjoined future
+// is host work whose effects the simulation never ordered.
+func TestEngineShutdownWithOutstandingFutures(t *testing.T) {
+	e := NewEngine()
+	e.Spawn("leaker", func(p *Proc) {
+		e.NewFuture("orphan-b")
+		e.NewFuture("orphan-a")
+		p.Sleep(Microsecond)
+		// Exits without joining either.
+	})
+	msg := mustPanic(t, func() { e.Run() })
+	for _, want := range []string{"2 unjoined", "orphan-a", "orphan-b"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("panic %q does not mention %q", msg, want)
+		}
+	}
+	if n := e.OpenFutures(); n != 2 {
+		t.Errorf("OpenFutures = %d, want 2", n)
+	}
+}

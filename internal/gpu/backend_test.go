@@ -1,0 +1,107 @@
+package gpu
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+
+	"repro/internal/des"
+)
+
+// launchSchedule runs a fixed two-process kernel workload on the given
+// backend and returns the observable outcome: each kernel's completion
+// time and the closures' computed values.
+func launchSchedule(t *testing.T, b Backend) string {
+	t.Helper()
+	defer b.Close()
+	eng := des.NewEngine()
+	link := des.NewResource(eng, "pcie", 1)
+	var log []string
+	for gi := 0; gi < 2; gi++ {
+		dev := NewDevice(eng, gi, GT200(), link, PCIeGen2x16())
+		dev.SetBackend(b)
+		eng.Spawn(fmt.Sprintf("g%d", gi), func(p *des.Proc) {
+			sum := 0
+			for k := 0; k < 3; k++ {
+				n := (gi + 1) * (k + 1) * 1000
+				dev.Launch(p, KernelSpec{Name: "t", Threads: int64(n), FlopsPerThread: 2}, func() {
+					for i := 0; i < n; i++ {
+						sum += i
+					}
+				})
+				log = append(log, fmt.Sprintf("g%d k%d t=%v sum=%d", gi, k, p.Now(), sum))
+			}
+		})
+	}
+	eng.Run()
+	return strings.Join(log, "\n")
+}
+
+// TestBackendScheduleInvariance: the DES schedule and every closure
+// effect are identical whether kernels run inline or on a pool — the
+// backend contract the differential matrix holds the full pipeline to.
+func TestBackendScheduleInvariance(t *testing.T) {
+	want := launchSchedule(t, Serial{})
+	for _, workers := range []int{1, 4} {
+		if got := launchSchedule(t, NewPool(workers)); got != want {
+			t.Errorf("pool(%d) schedule diverged from serial:\n%s\nwant:\n%s", workers, got, want)
+		}
+	}
+}
+
+// TestPoolLaunchPanicPropagates: a panic inside a pooled kernel closure
+// surfaces through the engine's normal process-panic report, naming the
+// kernel.
+func TestPoolLaunchPanicPropagates(t *testing.T) {
+	b := NewPool(2)
+	defer b.Close()
+	eng := des.NewEngine()
+	link := des.NewResource(eng, "pcie", 1)
+	dev := NewDevice(eng, 0, GT200(), link, PCIeGen2x16())
+	dev.SetBackend(b)
+	eng.Spawn("g0", func(p *des.Proc) {
+		dev.Launch(p, KernelSpec{Name: "bad.kernel", Threads: 64}, func() {
+			panic("kernel exploded")
+		})
+	})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected engine panic")
+		}
+		msg := fmt.Sprintf("%v", r)
+		for _, want := range []string{"g0", "bad.kernel", "kernel exploded"} {
+			if !strings.Contains(msg, want) {
+				t.Errorf("panic %q does not mention %q", msg, want)
+			}
+		}
+	}()
+	eng.Run()
+}
+
+// TestNewBackendMapping pins the worker-count knob decoding shared by
+// core.Config.Workers, cluster.Config.Workers, and gpmrbench -workers.
+func TestNewBackendMapping(t *testing.T) {
+	if got := NewBackend(0).String(); got != "serial" {
+		t.Errorf("NewBackend(0) = %s, want serial", got)
+	}
+	b3 := NewBackend(3)
+	defer b3.Close()
+	if got := b3.String(); got != "pool(3)" {
+		t.Errorf("NewBackend(3) = %s, want pool(3)", got)
+	}
+	ball := NewBackend(-1)
+	defer ball.Close()
+	if got, want := ball.String(), fmt.Sprintf("pool(%d)", runtime.GOMAXPROCS(0)); got != want {
+		t.Errorf("NewBackend(-1) = %s, want %s", got, want)
+	}
+}
+
+// TestPoolCloseIdempotent: Close twice is safe (cluster teardown paths may
+// overlap with deferred closes).
+func TestPoolCloseIdempotent(t *testing.T) {
+	p := NewPool(2)
+	p.Close()
+	p.Close()
+}

@@ -26,6 +26,7 @@ type Device struct {
 	memPeak int64
 	buffers int
 	derate  float64 // heterogeneity factor: >1 stretches kernel & PCIe durations
+	exec    Backend // runs kernels' functional closures (default Serial)
 	// Accumulated busy times for utilization reporting.
 	KernelTime des.Time
 	CopyTime   des.Time
@@ -42,8 +43,22 @@ func NewDevice(eng *des.Engine, id int, pr Props, pcieLink *des.Resource, pciePr
 		pcie:    pcieLink,
 		pcieBW:  pcieProps.Bandwidth,
 		pcieLat: pcieProps.Latency,
+		exec:    Serial{},
 	}
 }
+
+// SetBackend selects the execution backend for this device's kernel
+// closures; nil restores the Serial default. Devices of one cluster share
+// a backend so host cores are pooled across all simulated GPUs.
+func (d *Device) SetBackend(b Backend) {
+	if b == nil {
+		b = Serial{}
+	}
+	d.exec = b
+}
+
+// Backend returns the device's current execution backend.
+func (d *Device) Backend() Backend { return d.exec }
 
 // SetDerate stretches all subsequent kernel and PCIe durations on this
 // device by factor (>1 = slower; values below 1 clamp to nominal). It
@@ -165,16 +180,20 @@ func (b *Buffer) Free() {
 	b.Data = nil
 }
 
-// Launch runs a kernel: fn performs the functional work immediately (in
-// host code), while the calling process occupies the compute engine for the
-// kernel's modeled duration. It returns that duration.
+// Launch runs a kernel: fn performs the functional work in host code —
+// inline on the Serial backend, concurrently on a Pool worker — while the
+// calling process occupies the compute engine for the kernel's modeled
+// duration. The closure is joined no later than the kernel's simulated
+// completion, so its effects are always visible when Launch returns and
+// the DES schedule is backend-independent. It returns the duration.
 func (d *Device) Launch(p *des.Proc, spec KernelSpec, fn func()) des.Time {
 	cost := d.scaled(spec.Cost(d.Props))
 	d.compute.Acquire(p, 1)
-	if fn != nil {
-		fn()
-	}
+	fut := d.exec.Start(p.Engine(), spec.Name, fn)
 	p.Sleep(cost)
+	if fut != nil {
+		fut.Join()
+	}
 	d.compute.Release(1)
 	d.KernelTime += cost
 	return cost
@@ -182,14 +201,23 @@ func (d *Device) Launch(p *des.Proc, spec KernelSpec, fn func()) des.Time {
 
 // LaunchFor runs a kernel sequence with a precomputed aggregate cost
 // (multi-pass primitives like radix sort), holding the compute engine for
-// the whole duration.
+// the whole duration. The closure joins at simulated completion, as in
+// Launch. Prefer LaunchForNamed where a kernel name is known — it is what
+// leak and panic diagnostics print.
 func (d *Device) LaunchFor(p *des.Proc, cost des.Time, fn func()) des.Time {
+	return d.LaunchForNamed(p, "kernelseq", cost, fn)
+}
+
+// LaunchForNamed is LaunchFor with an explicit kernel-sequence name for
+// diagnostics (future leak reports and pooled-closure panics).
+func (d *Device) LaunchForNamed(p *des.Proc, name string, cost des.Time, fn func()) des.Time {
 	cost = d.scaled(cost)
 	d.compute.Acquire(p, 1)
-	if fn != nil {
-		fn()
-	}
+	fut := d.exec.Start(p.Engine(), name, fn)
 	p.Sleep(cost)
+	if fut != nil {
+		fut.Join()
+	}
 	d.compute.Release(1)
 	d.KernelTime += cost
 	return cost

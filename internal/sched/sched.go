@@ -102,6 +102,7 @@ func Run(cc cluster.Config, pol Policy, specs []JobSpec) (*ClusterTrace, error) 
 
 	eng := des.NewEngine()
 	cl := cluster.New(eng, cc)
+	defer cl.Close()
 	s := &scheduler{
 		eng:   eng,
 		cl:    cl,
