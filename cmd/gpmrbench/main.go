@@ -11,7 +11,9 @@
 //	gpmrbench -exp table2 -phys 1048576 # higher functional fidelity
 //	gpmrbench -exp faults               # fault recovery & speculation
 //	gpmrbench -exp multijob             # multi-tenant scheduling policies
+//	gpmrbench -exp online               # open-system offered-load sweep
 //	gpmrbench -exp multijob -workers 4  # kernel work on 4 host cores
+//	gpmrbench -list                     # the registry, with descriptions
 //
 // Larger -phys materializes more physical data per run (slower, more
 // faithful functionally); simulated costs always use paper-scale sizes.
@@ -36,11 +38,13 @@ import (
 // experiment is one named entry in the driver registry.
 type experiment struct {
 	name string
+	desc string
 	run  func() error
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run, or \"all\" (see -exp help)")
+	exp := flag.String("exp", "all", "experiment to run, or \"all\" (see -list)")
+	list := flag.Bool("list", false, "print the experiment registry with descriptions and exit")
 	benchName := flag.String("bench", "", "benchmark for fig3/weak (mm|sio|wo|kmc|lr; empty = all)")
 	phys := flag.Int("phys", 1<<16, "physical element budget per run")
 	seed := flag.Uint64("seed", 1, "workload seed")
@@ -56,8 +60,8 @@ func main() {
 	}
 
 	experiments := []experiment{
-		{"table1", func() error { bench.Table1(out); return nil }},
-		{"fig3", func() error {
+		{"table1", "the dataset matrix (virtual sizes, chunk counts)", func() error { bench.Table1(out); return nil }},
+		{"fig3", "parallel-efficiency curves per benchmark (1..64 GPUs)", func() error {
 			for _, b := range benches {
 				res, err := bench.Fig3(b, o)
 				if err != nil {
@@ -68,7 +72,7 @@ func main() {
 			}
 			return nil
 		}},
-		{"fig2", func() error {
+		{"fig2", "runtime breakdowns by pipeline stage", func() error {
 			rows, err := bench.Fig2(o)
 			if err != nil {
 				return err
@@ -76,7 +80,7 @@ func main() {
 			bench.RenderFig2(out, rows)
 			return nil
 		}},
-		{"table2", func() error {
+		{"table2", "GPMR speedup over Phoenix (4-core CPU)", func() error {
 			rows, err := bench.Table2(o)
 			if err != nil {
 				return err
@@ -84,7 +88,7 @@ func main() {
 			bench.RenderSpeedups(out, "Table 2 — GPMR speedup over Phoenix (4-core CPU)", rows)
 			return nil
 		}},
-		{"table3", func() error {
+		{"table3", "GPMR speedup over Mars (single GPU)", func() error {
 			rows, err := bench.Table3(o)
 			if err != nil {
 				return err
@@ -92,7 +96,7 @@ func main() {
 			bench.RenderSpeedups(out, "Table 3 — GPMR speedup over Mars (single GPU)", rows)
 			return nil
 		}},
-		{"table4", func() error {
+		{"table4", "lines-of-code comparison", func() error {
 			rows, err := bench.Table4(".")
 			if err != nil {
 				return err
@@ -100,7 +104,7 @@ func main() {
 			bench.RenderTable4(out, rows)
 			return nil
 		}},
-		{"weak", func() error {
+		{"weak", "weak-scaling runs (fixed size per GPU)", func() error {
 			for _, b := range benches {
 				if b == "mm" {
 					continue // no weak set for MM in Table 1
@@ -114,7 +118,7 @@ func main() {
 			}
 			return nil
 		}},
-		{"ablation", func() error {
+		{"ablation", "substage ablations the paper argues in prose", func() error {
 			rows, err := bench.Ablation(o)
 			if err != nil {
 				return err
@@ -122,7 +126,7 @@ func main() {
 			bench.RenderAblation(out, rows)
 			return nil
 		}},
-		{"imbalance", func() error {
+		{"imbalance", "skewed chunk placement vs steal policies", func() error {
 			rows, err := bench.Imbalance(o)
 			if err != nil {
 				return err
@@ -130,7 +134,7 @@ func main() {
 			bench.RenderImbalance(out, rows)
 			return nil
 		}},
-		{"faults", func() error {
+		{"faults", "GPU fail-stop recovery and straggler speculation", func() error {
 			rows, err := bench.Faults(o)
 			if err != nil {
 				return err
@@ -138,7 +142,7 @@ func main() {
 			bench.RenderFaults(out, rows)
 			return nil
 		}},
-		{"multijob", func() error {
+		{"multijob", "multi-tenant policies over one shared batch stream", func() error {
 			rows, traces, err := bench.Multijob(o)
 			if err != nil {
 				return err
@@ -146,11 +150,28 @@ func main() {
 			bench.RenderMultijob(out, rows, traces)
 			return nil
 		}},
+		{"online", "open-system offered-load sweep: latency vs reject rate", func() error {
+			rows, err := bench.Online(o)
+			if err != nil {
+				return err
+			}
+			bench.RenderOnline(out, rows)
+			return nil
+		}},
 	}
 
 	names := make([]string, 0, len(experiments))
 	for _, e := range experiments {
 		names = append(names, e.name)
+	}
+
+	// -list prints the registry with descriptions and exits clean.
+	if *list {
+		fmt.Fprintf(out, "%-10s %s\n", "all", "every experiment below, in order")
+		for _, e := range experiments {
+			fmt.Fprintf(out, "%-10s %s\n", e.name, e.desc)
+		}
+		return
 	}
 
 	// `-exp help` lists the registry and exits clean (the flag usage

@@ -1,0 +1,236 @@
+// Command gpmrd is the GPMR online job service: a long-running daemon
+// that serves MapReduce jobs over HTTP against one shared simulated GPU
+// cluster. Wall-clock arrivals are mapped onto virtual time at the HTTP
+// boundary; admission control (bounded queue, per-tenant quotas) sheds
+// load the cluster cannot absorb; and every arrival is recorded to a
+// trace that replays byte-identically through the offline path.
+//
+// Endpoints:
+//
+//	POST   /jobs        submit {"tenant","kind","params",...} → 202 JobInfo
+//	GET    /jobs        list all job records
+//	GET    /jobs/{id}   one job record
+//	DELETE /jobs/{id}   cancel a queued job
+//	GET    /metrics     Prometheus text exposition
+//	GET    /healthz     liveness
+//
+// Shutdown (SIGINT/SIGTERM) stops admissions, waits for every admitted
+// job to finish, writes the arrival trace, and prints the final report
+// to stdout. Replaying that trace:
+//
+//	gpmrd -replay trace.jsonl
+//
+// prints a byte-identical report — the CI smoke test diffs the two.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+
+	"repro/internal/cluster"
+	"repro/internal/sched"
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8373", "HTTP listen address")
+	gpus := flag.Int("gpus", 16, "cluster GPU ranks")
+	perNode := flag.Int("gpus-per-node", 4, "ranks packed per node")
+	policy := flag.String("policy", "weighted-fair", "admission policy: fifo-exclusive|fixed-share|weighted-fair")
+	share := flag.Int("share", 4, "per-gang rank cap (fixed-share only)")
+	queue := flag.Int("queue", 16, "admission queue bound (negative = unbounded)")
+	quota := flag.Int("quota", 0, "per-tenant in-flight cap (0 = unlimited)")
+	scale := flag.Float64("timescale", 1, "virtual seconds per wall second at the boundary")
+	workers := flag.Int("workers", 0, "kernel-execution workers (see gpmrbench -workers)")
+	phys := flag.Int("phys", 1<<16, "physical element budget per job")
+	tracePath := flag.String("trace", "", "record the arrival trace to this file (JSONL)")
+	replayPath := flag.String("replay", "", "replay a recorded trace offline and print the report")
+	flag.Parse()
+
+	if *replayPath != "" {
+		if err := replay(*replayPath, *workers); err != nil {
+			log.Fatalf("gpmrd: %v", err)
+		}
+		return
+	}
+	if err := live(*addr, *gpus, *perNode, *policy, *share, *queue, *quota, *scale, *workers, *phys, *tracePath); err != nil {
+		log.Fatalf("gpmrd: %v", err)
+	}
+}
+
+// replay runs the offline path: same admission code, no wall clock.
+func replay(path string, workers int) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tr, err := serve.ReadTrace(f)
+	if err != nil {
+		return err
+	}
+	rep, err := serve.Replay(tr, serve.ReplayOptions{Workers: workers})
+	if err != nil {
+		return err
+	}
+	fmt.Print(rep.String())
+	return nil
+}
+
+// parsePolicy maps the flag onto a sched.Policy.
+func parsePolicy(name string, share int) (sched.Policy, error) {
+	k, err := sched.ParsePolicyKind(name)
+	if err != nil {
+		return sched.Policy{}, err
+	}
+	return sched.Policy{Kind: k, Share: share}, nil
+}
+
+func live(addr string, gpus, perNode int, policy string, share, queue, quota int, scale float64, workers, phys int, tracePath string) error {
+	pol, err := parsePolicy(policy, share)
+	if err != nil {
+		return err
+	}
+	cc := cluster.DefaultConfig(gpus)
+	if perNode > 0 {
+		cc.GPUsPerNode = perNode
+	}
+	cc.Workers = workers
+
+	var traceF *os.File
+	cfg := serve.Config{
+		Cluster:   cc,
+		Policy:    pol,
+		Catalog:   serve.DefaultCatalog(phys),
+		MaxQueue:  queue,
+		Quota:     quota,
+		TimeScale: scale,
+	}
+	if tracePath != "" {
+		traceF, err = os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		cfg.TraceW = traceF
+	}
+	sv, err := serve.Start(cfg)
+	if err != nil {
+		return err
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
+		var req serve.Request
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+			return
+		}
+		info, err := sv.Submit(req)
+		if err != nil {
+			httpError(w, http.StatusServiceUnavailable, err.Error())
+			return
+		}
+		switch {
+		case info.State != serve.Rejected:
+			writeJSON(w, http.StatusAccepted, info)
+		case strings.HasPrefix(info.Reason, "shed:") || strings.HasPrefix(info.Reason, "quota:"):
+			// Backpressure: the client should retry later, with the full
+			// record so it can see queue state in the reason.
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusTooManyRequests, info)
+		default:
+			writeJSON(w, http.StatusBadRequest, info)
+		}
+	})
+	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, sv.Jobs())
+	})
+	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id, err := strconv.Atoi(r.PathValue("id"))
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad job id")
+			return
+		}
+		info, ok := sv.Job(id)
+		if !ok {
+			httpError(w, http.StatusNotFound, "no such job")
+			return
+		}
+		writeJSON(w, http.StatusOK, info)
+	})
+	mux.HandleFunc("DELETE /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id, err := strconv.Atoi(r.PathValue("id"))
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad job id")
+			return
+		}
+		ok, err := sv.Cancel(id)
+		if err != nil {
+			httpError(w, http.StatusServiceUnavailable, err.Error())
+			return
+		}
+		if !ok {
+			httpError(w, http.StatusConflict, "job is not queued (already running, finished, or unknown)")
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]bool{"cancelled": true})
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		sv.WriteMetrics(w)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+
+	srv := &http.Server{Addr: addr, Handler: mux}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("gpmrd: serving %d GPUs (%d/node) under %s on %s", gpus, cc.GPUsPerNode, pol.Kind, addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case s := <-sig:
+		log.Printf("gpmrd: %v — draining", s)
+	}
+	if err := srv.Close(); err != nil {
+		log.Printf("gpmrd: closing http: %v", err)
+	}
+	rep, err := sv.Drain()
+	if err != nil {
+		return err
+	}
+	if traceF != nil {
+		if err := traceF.Close(); err != nil {
+			return err
+		}
+		log.Printf("gpmrd: arrival trace written to %s", tracePath)
+	}
+	// The report is the only thing on stdout: a replay of the recorded
+	// trace must print byte-identical text.
+	fmt.Print(rep.String())
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}

@@ -1,0 +1,145 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/des"
+	"repro/internal/serve"
+	"repro/internal/workload"
+)
+
+// The open-system experiment: where multijob replays one fixed batch,
+// this sweeps OFFERED LOAD against the online serving layer — the same
+// seeded job mix arriving faster and faster, with a bounded admission
+// queue and per-tenant quotas — and reports what an open system actually
+// trades: tail latency against reject/shed rate, per policy. Every run
+// goes through serve's deterministic replay path (no wall clock), so the
+// table is bit-identical across runs and hosts.
+
+// OnlineGPUs is the shared cluster for the open-system sweep.
+const OnlineGPUs = 16
+
+// OnlineJobs is the arrival-stream length per load point.
+const OnlineJobs = 16
+
+// OnlineMaxQueue bounds the admission queue: load beyond what the
+// cluster absorbs turns into sheds, not unbounded queueing.
+const OnlineMaxQueue = 4
+
+// OnlineQuota caps any one tenant's in-flight jobs.
+const OnlineQuota = 3
+
+// onlineGapsMs are the mean inter-arrival gaps swept, loosest to
+// tightest (offered load rises left to right in the report).
+var onlineGapsMs = []float64{16, 8, 4}
+
+// onlineTenants cycle through the stream's submissions.
+var onlineTenants = []string{"ana", "bo", "cy"}
+
+// onlineStream builds the seeded arrival stream for one load point as a
+// recorded trace body: exponential inter-arrival gaps, the multijob-style
+// kind mix (small WO/KMC queries, medium and large SIO scans), tenants
+// round-robin. A pure function of (options, gap), so every policy at a
+// given load sees byte-identical arrivals.
+func onlineStream(o Options, gapMs float64) []serve.Event {
+	rng := workload.NewRNG(o.Seed + 0x517cc1b7)
+	var evs []serve.Event
+	var at des.Time
+	for i := 0; i < OnlineJobs; i++ {
+		u := rng.Float64()
+		at += des.FromSeconds(gapMs / 1e3 * -math.Log(1-u))
+		seed := int64(o.Seed) + int64(i)*1000
+		var kind string
+		var params serve.Params
+		switch rng.Intn(4) {
+		case 0:
+			kind, params = "wo", serve.Params{"bytes": 4 << 20, "gpus": 2, "seed": seed}
+		case 1:
+			kind, params = "kmc", serve.Params{"points": 4 << 20, "gpus": 2, "seed": seed}
+		case 2:
+			kind, params = "sio", serve.Params{"elements": 8 << 20, "gpus": 4, "seed": seed, "chunkcap": 1 << 20}
+		default:
+			kind, params = "sio", serve.Params{"elements": 32 << 20, "gpus": 12, "seed": seed, "chunkcap": 1 << 20}
+		}
+		evs = append(evs, serve.Event{Arrive: &serve.Arrival{
+			Seq: i, At: at, Tenant: onlineTenants[i%len(onlineTenants)], Kind: kind, Params: params,
+		}})
+	}
+	return evs
+}
+
+// OnlineRow is one (load, policy) cell of the sweep.
+type OnlineRow struct {
+	GapMs    float64
+	Policy   string
+	Jobs     int
+	Admitted int64
+	Shed     int64
+	Quota    int64
+	Rejected float64 // reject fraction of offered jobs
+	P50      des.Time
+	P95      des.Time
+	MeanWait des.Time
+	Makespan des.Time
+}
+
+// Online sweeps offered load × admission policy through the online
+// serving layer's replay path and reports per-cell latency percentiles
+// (over admitted jobs) and reject rates.
+func Online(o Options) ([]OnlineRow, error) {
+	o = o.withDefaults()
+	var rows []OnlineRow
+	for _, gap := range onlineGapsMs {
+		evs := onlineStream(o, gap)
+		for _, pol := range multijobPolicies() {
+			h := serve.Header{
+				Version:     serve.TraceVersion,
+				Policy:      pol.Kind.String(),
+				Share:       pol.Share,
+				GPUs:        OnlineGPUs,
+				GPUsPerNode: 4,
+				MaxQueue:    OnlineMaxQueue,
+				Quota:       OnlineQuota,
+				PhysBudget:  o.PhysBudget,
+			}
+			rep, err := serve.Replay(&serve.Trace{Header: h, Events: evs}, serve.ReplayOptions{Workers: o.Workers})
+			if err != nil {
+				return nil, fmt.Errorf("online: gap %.0fms policy %s: %w", gap, pol.Kind, err)
+			}
+			s := rep.Stats
+			rows = append(rows, OnlineRow{
+				GapMs:    gap,
+				Policy:   pol.Kind.String(),
+				Jobs:     OnlineJobs,
+				Admitted: s.Admitted,
+				Shed:     s.RejectedShed,
+				Quota:    s.RejectedQuota,
+				Rejected: float64(s.RejectedShed+s.RejectedQuota+s.RejectedInvalid) / float64(OnlineJobs),
+				P50:      rep.Cluster.LatencyPercentile(50, nil),
+				P95:      rep.Cluster.LatencyPercentile(95, nil),
+				MeanWait: rep.Cluster.MeanWait(),
+				Makespan: rep.Cluster.Makespan,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// RenderOnline writes the offered-load sweep.
+func RenderOnline(w io.Writer, rows []OnlineRow) {
+	fmt.Fprintf(w, "Open-system serving — %d-job streams on %d shared GPUs, queue bound %d, tenant quota %d\n",
+		OnlineJobs, OnlineGPUs, OnlineMaxQueue, OnlineQuota)
+	fmt.Fprintf(w, "%8s %-15s %5s %5s %6s %7s %12s %12s %12s\n",
+		"gap", "policy", "admit", "shed", "quota", "rej%", "p50 lat", "p95 lat", "mean wait")
+	lastGap := -1.0
+	for _, r := range rows {
+		if r.GapMs != lastGap && lastGap >= 0 {
+			fmt.Fprintln(w)
+		}
+		lastGap = r.GapMs
+		fmt.Fprintf(w, "%6.0fms %-15s %5d %5d %6d %6.1f%% %12v %12v %12v\n",
+			r.GapMs, r.Policy, r.Admitted, r.Shed, r.Quota, 100*r.Rejected, r.P50, r.P95, r.MeanWait)
+	}
+}

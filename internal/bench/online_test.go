@@ -1,0 +1,78 @@
+package bench
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func onlineOpts() Options { return Options{PhysBudget: 2048, Seed: 1} }
+
+// TestOnlineDeterminism: the sweep is a pure function of the options —
+// two runs produce identical rows (times, digests, counts).
+func TestOnlineDeterminism(t *testing.T) {
+	a, err := Online(onlineOpts())
+	if err != nil {
+		t.Fatalf("Online: %v", err)
+	}
+	b, err := Online(onlineOpts())
+	if err != nil {
+		t.Fatalf("Online (second run): %v", err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("online sweep not deterministic:\n%v\nvs\n%v", a, b)
+	}
+}
+
+// TestOnlineScenario sanity-checks the open-system shape: accounting adds
+// up per cell, percentiles are ordered, and admission control actually
+// bites — every policy sheds under the tightest load, and no policy
+// rejects more when load is lightest than when it is heaviest.
+func TestOnlineScenario(t *testing.T) {
+	rows, err := Online(onlineOpts())
+	if err != nil {
+		t.Fatalf("Online: %v", err)
+	}
+	if len(rows) != len(onlineGapsMs)*3 {
+		t.Fatalf("got %d rows, want %d", len(rows), len(onlineGapsMs)*3)
+	}
+	rejectsAt := map[string]map[float64]int64{}
+	for _, r := range rows {
+		if r.Admitted+r.Shed+r.Quota != int64(r.Jobs) {
+			t.Errorf("%s@%vms: admit %d + shed %d + quota %d != %d offered",
+				r.Policy, r.GapMs, r.Admitted, r.Shed, r.Quota, r.Jobs)
+		}
+		if r.P95 < r.P50 {
+			t.Errorf("%s@%vms: p95 %v < p50 %v", r.Policy, r.GapMs, r.P95, r.P50)
+		}
+		if rejectsAt[r.Policy] == nil {
+			rejectsAt[r.Policy] = map[float64]int64{}
+		}
+		rejectsAt[r.Policy][r.GapMs] = r.Shed + r.Quota
+	}
+	loosest, tightest := onlineGapsMs[0], onlineGapsMs[len(onlineGapsMs)-1]
+	for pol, byGap := range rejectsAt {
+		if byGap[tightest] == 0 {
+			t.Errorf("%s: no rejects at the tightest load — admission control never engaged", pol)
+		}
+		if byGap[loosest] > byGap[tightest] {
+			t.Errorf("%s: more rejects at light load (%d) than heavy (%d)", pol, byGap[loosest], byGap[tightest])
+		}
+	}
+}
+
+// TestRenderOnline smoke-checks the table renderer.
+func TestRenderOnline(t *testing.T) {
+	rows, err := Online(onlineOpts())
+	if err != nil {
+		t.Fatalf("Online: %v", err)
+	}
+	var sb strings.Builder
+	RenderOnline(&sb, rows)
+	out := sb.String()
+	for _, want := range []string{"Open-system serving", "fifo-exclusive", "fixed-share", "weighted-fair", "p95 lat"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}

@@ -73,6 +73,18 @@ type Config struct {
 	Workers int
 }
 
+// Validate checks the cluster shape without building it, so services can
+// reject a bad configuration as an error where New would panic.
+func (c Config) Validate() error {
+	if c.GPUs <= 0 {
+		return fmt.Errorf("cluster: %d GPUs, need at least one", c.GPUs)
+	}
+	if c.GPUsPerNode <= 0 || c.GPUsPerNode > c.Node.GPUsPerNode {
+		return fmt.Errorf("cluster: GPUsPerNode %d outside 1..%d", c.GPUsPerNode, c.Node.GPUsPerNode)
+	}
+	return nil
+}
+
 // DefaultConfig returns the paper's testbed scaled to nGPUs ranks, packing
 // four ranks per node as the paper's MPI launch did.
 func DefaultConfig(nGPUs int) Config {

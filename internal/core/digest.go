@@ -1,0 +1,61 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+
+	"repro/internal/keyval"
+)
+
+// OutputDigester is the optional face of a Runnable whose completed output
+// can be summarized as one canonical 64-bit digest. The online serving
+// layer records digests in its arrival trace so a replayed run can prove
+// byte-identical job outputs without shipping the outputs themselves.
+type OutputDigester interface {
+	// OutputDigest returns the canonical digest of the job's final
+	// output, and false while the job has not completed.
+	OutputDigest() (uint64, bool)
+}
+
+// Digest canonically hashes a completed job's output: the gathered pairs
+// (when GatherOutput was set) followed by every reduce partition's final
+// pairs, in partition order. Keys hash as little-endian uint32; values
+// hash through fmt's %v — deterministic for every value type the apps use
+// (integers verbatim, floats via strconv's shortest round-trip form).
+// Two Results digest equal iff keyval.Equal holds slot for slot.
+func (r *Result[V]) Digest() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.LittleEndian.PutUint32(buf[:4], uint32(len(r.PerRank)))
+	h.Write(buf[:4])
+	digestPairs(h.Write, &r.Output)
+	for i := range r.PerRank {
+		digestPairs(h.Write, &r.PerRank[i])
+	}
+	return h.Sum64()
+}
+
+// digestPairs feeds one pair list into the hash with length framing, so
+// pair boundaries cannot alias across lists.
+func digestPairs[V any](write func([]byte) (int, error), p *keyval.Pairs[V]) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(p.Len()))
+	write(buf[:])
+	for i, k := range p.Keys {
+		binary.LittleEndian.PutUint32(buf[:4], k)
+		write(buf[:4])
+		v := fmt.Sprintf("%v", p.Vals[i])
+		binary.LittleEndian.PutUint32(buf[:4], uint32(len(v)))
+		write(buf[:4])
+		write([]byte(v))
+	}
+}
+
+// OutputDigest implements OutputDigester for a scheduled job.
+func (s *Scheduled[V]) OutputDigest() (uint64, bool) {
+	if s.Result == nil {
+		return 0, false
+	}
+	return s.Result.Digest(), true
+}

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/keyval"
+)
+
+func pairs[V any](ks []uint32, vs []V) keyval.Pairs[V] {
+	return keyval.Pairs[V]{Keys: ks, Vals: vs}
+}
+
+func TestResultDigestDiscriminates(t *testing.T) {
+	base := func() *Result[uint32] {
+		return &Result[uint32]{
+			Output:  pairs([]uint32{1, 2}, []uint32{10, 20}),
+			PerRank: []keyval.Pairs[uint32]{pairs([]uint32{1}, []uint32{10}), pairs([]uint32{2}, []uint32{20})},
+		}
+	}
+	ref := base().Digest()
+	if got := base().Digest(); got != ref {
+		t.Fatalf("digest not deterministic: %x vs %x", got, ref)
+	}
+
+	mutations := map[string]func(*Result[uint32]){
+		"key":           func(r *Result[uint32]) { r.Output.Keys[0] = 3 },
+		"value":         func(r *Result[uint32]) { r.Output.Vals[1] = 21 },
+		"partition key": func(r *Result[uint32]) { r.PerRank[1].Keys[0] = 9 },
+		"moved pair": func(r *Result[uint32]) {
+			// Same multiset of pairs, different partition — must differ.
+			r.PerRank[0] = pairs([]uint32{1, 2}, []uint32{10, 20})
+			r.PerRank[1] = pairs[uint32](nil, nil)
+		},
+		"extra empty partition": func(r *Result[uint32]) {
+			r.PerRank = append(r.PerRank, keyval.Pairs[uint32]{})
+		},
+	}
+	for name, mutate := range mutations {
+		r := base()
+		mutate(r)
+		if r.Digest() == ref {
+			t.Errorf("%s mutation did not change the digest", name)
+		}
+	}
+}
+
+// TestResultDigestFloatCanonical pins the float path: equal float64 values
+// digest equal; different values (including tiny perturbations fmt can
+// still round-trip) digest differently.
+func TestResultDigestFloatCanonical(t *testing.T) {
+	x, y := 0.1, 0.2 // runtime addition: 0.30000000000000004, not the constant 0.3
+	a := &Result[float64]{Output: pairs([]uint32{7}, []float64{x + y})}
+	b := &Result[float64]{Output: pairs([]uint32{7}, []float64{x + y})}
+	if a.Digest() != b.Digest() {
+		t.Fatal("identical float results digest differently")
+	}
+	c := &Result[float64]{Output: pairs([]uint32{7}, []float64{0.3})}
+	if a.Digest() == c.Digest() {
+		t.Fatal("0.1+0.2 and 0.3 digest equal — float canonicalization lost precision")
+	}
+}
+
+func TestScheduledOutputDigest(t *testing.T) {
+	s := &Scheduled[uint32]{}
+	if _, ok := s.OutputDigest(); ok {
+		t.Fatal("digest reported before completion")
+	}
+	s.Result = &Result[uint32]{Output: pairs([]uint32{1}, []uint32{1})}
+	d, ok := s.OutputDigest()
+	if !ok || d != s.Result.Digest() {
+		t.Fatalf("OutputDigest = (%x, %v), want (%x, true)", d, ok, s.Result.Digest())
+	}
+}

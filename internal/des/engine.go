@@ -44,6 +44,13 @@ type Engine struct {
 	// the simulation (see future.go). Mutated only from the engine's
 	// serialized goroutines; Run refuses to shut down while any remain.
 	openFutures map[*Future]struct{}
+	// Open-system state (see inject.go): while openInj > 0, Run parks on
+	// injc instead of exiting when the event queue drains. stopped is
+	// closed when Run returns for good, failing later injections fast.
+	openInj     int
+	injc        chan injMsg
+	stopped     chan struct{}
+	everStopped bool
 }
 
 type yieldMsg struct {
@@ -54,7 +61,16 @@ type yieldMsg struct {
 
 // NewEngine returns an empty simulation at time zero.
 func NewEngine() *Engine {
-	return &Engine{yield: make(chan yieldMsg), openFutures: make(map[*Future]struct{})}
+	// injc is deliberately unbuffered: a successful send means the engine
+	// goroutine received the message inside Run, so it is guaranteed to be
+	// applied — a buffered channel would let a send race the engine's
+	// final drain and strand an accepted injection forever.
+	return &Engine{
+		yield:       make(chan yieldMsg),
+		openFutures: make(map[*Future]struct{}),
+		injc:        make(chan injMsg),
+		stopped:     make(chan struct{}),
+	}
 }
 
 // Now returns the current simulated time.
@@ -159,16 +175,39 @@ func (p *Proc) Yield() { p.Sleep(0) }
 // Run executes the simulation until every spawned process has finished.
 // It returns the final simulated time. If all remaining processes are
 // blocked with no pending events, Run panics with a deadlock report.
+//
+// While the engine has open injectors (see inject.go), an empty event
+// queue parks the engine instead: Run blocks, holding virtual time still,
+// until the outside world injects more work or closes the last injector.
+// Deadlock detection is necessarily suspended in open mode — a blocked
+// process may be waiting on work that has not been injected yet.
 func (e *Engine) Run() Time {
 	if e.running {
 		panic("des: Run called re-entrantly")
 	}
 	e.running = true
-	defer func() { e.running = false }()
-	for e.live > 0 {
+	defer func() {
+		e.running = false
+		if !e.everStopped {
+			e.everStopped = true
+			close(e.stopped)
+		}
+	}()
+	for {
+		// Injections are applied between event dispatches, so an injected
+		// process lands at the frontier without interleaving with a
+		// running one.
+		e.drainInjections()
 		if e.queue.Len() == 0 {
-			panic(fmt.Sprintf("des: deadlock at t=%v: %d process(es) blocked: %v",
-				e.now, e.blocked, e.blockedNames()))
+			if e.openInj > 0 {
+				e.applyInjection(<-e.injc) // park: wait for the outside world
+				continue
+			}
+			if e.live > 0 {
+				panic(fmt.Sprintf("des: deadlock at t=%v: %d process(es) blocked: %v",
+					e.now, e.blocked, e.blockedNames()))
+			}
+			break
 		}
 		ev := e.queue.popEvent()
 		if ev.proc.ended {

@@ -56,6 +56,18 @@ func (k PolicyKind) String() string {
 	return "unknown"
 }
 
+// ParsePolicyKind resolves a policy name as printed by PolicyKind.String
+// — the single lookup shared by the daemon's flags and the arrival-trace
+// header, so a new kind cannot exist in one and not the other.
+func ParsePolicyKind(name string) (PolicyKind, error) {
+	for _, k := range []PolicyKind{FIFOExclusive, FixedShare, WeightedFair} {
+		if k.String() == name {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("%w: %q", ErrUnknownPolicy, name)
+}
+
 // Policy configures admission for one scheduler run.
 type Policy struct {
 	Kind PolicyKind

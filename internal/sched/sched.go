@@ -32,17 +32,25 @@ type jobRec struct {
 	weight  int
 	minGang int
 
-	arrival des.Time
-	admit   des.Time
-	finish  des.Time
-	gang    []int
-	trace   *core.Trace
-	waiting bool // in the queue
-	running bool
+	arrival   des.Time
+	admit     des.Time
+	finish    des.Time
+	gang      []int
+	trace     *core.Trace
+	waiting   bool // in the queue
+	running   bool
+	cancelled bool  // pulled from the queue before admission
+	err       error // LaunchOn failure, job never ran
 }
 
-// scheduler is the admission engine for one Run.
-type scheduler struct {
+// Scheduler is the incremental admission engine: jobs are submitted to a
+// live engine one at a time, at the moment they arrive, rather than as a
+// closed batch known up front. Run is the batch wrapper; the online
+// serving layer (internal/serve) drives this API directly through the
+// engine's injection primitive. All methods must be called at engine time
+// (from a simulated process or an injected closure) — the Scheduler is
+// engine-confined state, not a thread-safe object.
+type Scheduler struct {
 	eng   *des.Engine
 	cl    *cluster.Cluster
 	pol   Policy
@@ -52,58 +60,24 @@ type scheduler struct {
 	queue   []*jobRec // pending, arrival order
 	recs    []*jobRec // all, submission order
 	nRun    int
-	launchE error // first LaunchOn failure, reported after the run
+	launchE error // first LaunchOn failure, reported after a batch run
+
+	// OnStart, if set, fires when a job is placed on its gang; OnDone
+	// fires after its gang is released — with the job's trace, or with a
+	// non-nil error if the launch itself failed (the job never ran).
+	// Cancelled jobs fire neither. Both run at engine time.
+	OnStart func(id int, gang []int)
+	OnDone  func(id int, tr *core.Trace, err error)
 }
 
-// validateSpecs checks every submission up front with named errors, so a
-// bad queue never reaches the simulation.
-func validateSpecs(specs []JobSpec, totalRanks int) error {
-	if len(specs) == 0 {
-		return ErrNoJobs
-	}
-	for i, sp := range specs {
-		if sp.Job == nil {
-			return fmt.Errorf("%w (submission %d)", ErrNilJob, i)
-		}
-		name := sp.Job.RunName()
-		if sp.At < 0 {
-			return fmt.Errorf("%w: job %q arrives at %v", ErrBadArrival, name, sp.At)
-		}
-		if sp.Weight < 0 {
-			return fmt.Errorf("%w: job %q has weight %d", ErrBadWeight, name, sp.Weight)
-		}
-		want := sp.Job.GangWant()
-		if want > totalRanks {
-			return fmt.Errorf("%w: job %q wants %d of %d ranks", ErrGangTooBig, name, want, totalRanks)
-		}
-		if sp.MinGang < 0 || sp.MinGang > want {
-			return fmt.Errorf("%w: job %q MinGang %d, want %d", ErrBadMinGang, name, sp.MinGang, want)
-		}
-		if err := sp.Job.ValidateJob(); err != nil {
-			return fmt.Errorf("sched: job %q: %w", name, err)
-		}
-	}
-	return nil
-}
-
-// Run simulates the submitted jobs on one shared cluster under the policy
-// and returns the cluster-level trace. Everything is deterministic: the
-// same cluster, policy, and submissions produce a bit-identical trace.
-func Run(cc cluster.Config, pol Policy, specs []JobSpec) (*ClusterTrace, error) {
-	if cc.GPUs <= 0 || cc.GPUsPerNode <= 0 || cc.GPUsPerNode > cc.Node.GPUsPerNode {
-		return nil, fmt.Errorf("%w: %d GPUs, %d per node", ErrBadCluster, cc.GPUs, cc.GPUsPerNode)
-	}
-	if err := pol.Validate(cc.GPUs); err != nil {
+// NewScheduler prepares an incremental scheduler for a shared engine and
+// cluster. The policy is validated here; submissions are validated one by
+// one as they arrive.
+func NewScheduler(eng *des.Engine, cl *cluster.Cluster, pol Policy) (*Scheduler, error) {
+	if err := pol.Validate(cl.Ranks()); err != nil {
 		return nil, err
 	}
-	if err := validateSpecs(specs, cc.GPUs); err != nil {
-		return nil, err
-	}
-
-	eng := des.NewEngine()
-	cl := cluster.New(eng, cc)
-	defer cl.Close()
-	s := &scheduler{
+	s := &Scheduler{
 		eng:   eng,
 		cl:    cl,
 		pol:   pol,
@@ -113,37 +87,155 @@ func Run(cc cluster.Config, pol Policy, specs []JobSpec) (*ClusterTrace, error) 
 	for r := range s.free {
 		s.free[r] = true
 	}
-	for i, sp := range specs {
-		rec := &jobRec{spec: sp, id: i, want: sp.Job.GangWant(), weight: sp.Weight, minGang: sp.MinGang, arrival: sp.At}
-		if rec.weight == 0 {
-			rec.weight = 1
-		}
-		if rec.minGang == 0 {
-			rec.minGang = 1
-		}
-		s.recs = append(s.recs, rec)
-	}
-	// Arrivals enter the queue in time order; submission order breaks
-	// ties, so the stream is reproducible.
-	arrivals := append([]*jobRec(nil), s.recs...)
-	sort.SliceStable(arrivals, func(i, j int) bool { return arrivals[i].arrival < arrivals[j].arrival })
-	eng.Spawn("sched.arrivals", func(p *des.Proc) {
-		for _, rec := range arrivals {
-			if d := rec.arrival - p.Now(); d > 0 {
-				p.Sleep(d)
-			}
-			rec.waiting = true
-			s.queue = append(s.queue, rec)
-			s.admit()
-		}
-	})
-	makespan := eng.Run()
-	if s.launchE != nil {
-		return nil, s.launchE
-	}
+	return s, nil
+}
 
-	ct := &ClusterTrace{Policy: pol, Ranks: cl.Ranks(), Makespan: makespan}
+// validateSpec checks one submission with named errors.
+func validateSpec(sp JobSpec, totalRanks int) error {
+	if sp.Job == nil {
+		return ErrNilJob
+	}
+	name := sp.Job.RunName()
+	if sp.At < 0 {
+		return fmt.Errorf("%w: job %q arrives at %v", ErrBadArrival, name, sp.At)
+	}
+	if sp.Weight < 0 {
+		return fmt.Errorf("%w: job %q has weight %d", ErrBadWeight, name, sp.Weight)
+	}
+	want := sp.Job.GangWant()
+	if want > totalRanks {
+		return fmt.Errorf("%w: job %q wants %d of %d ranks", ErrGangTooBig, name, want, totalRanks)
+	}
+	if sp.MinGang < 0 || sp.MinGang > want {
+		return fmt.Errorf("%w: job %q MinGang %d, want %d", ErrBadMinGang, name, sp.MinGang, want)
+	}
+	if err := sp.Job.ValidateJob(); err != nil {
+		return fmt.Errorf("sched: job %q: %w", name, err)
+	}
+	return nil
+}
+
+// validateSpecs checks every submission up front with named errors, so a
+// bad queue never reaches the simulation.
+func validateSpecs(specs []JobSpec, totalRanks int) error {
+	if len(specs) == 0 {
+		return ErrNoJobs
+	}
+	for i, sp := range specs {
+		if err := validateSpec(sp, totalRanks); err != nil {
+			if sp.Job == nil {
+				return fmt.Errorf("%w (submission %d)", err, i)
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// register creates the record for one submission; arrival is provisional
+// until arrive runs (Run registers whole batches up front so job IDs follow
+// submission order even when arrivals are out of order).
+func (s *Scheduler) register(sp JobSpec) *jobRec {
+	rec := &jobRec{spec: sp, id: len(s.recs), want: sp.Job.GangWant(), weight: sp.Weight, minGang: sp.MinGang, arrival: sp.At}
+	if rec.weight == 0 {
+		rec.weight = 1
+	}
+	if rec.minGang == 0 {
+		rec.minGang = 1
+	}
+	s.recs = append(s.recs, rec)
+	return rec
+}
+
+// arrive enters a registered job into the admission queue at the current
+// simulated time.
+func (s *Scheduler) arrive(rec *jobRec) {
+	rec.arrival = s.eng.Now()
+	rec.waiting = true
+	s.queue = append(s.queue, rec)
+	s.admit()
+}
+
+// Register validates and records one job arriving now, returning its ID,
+// WITHOUT entering it into the admission queue — Arrive does that. The
+// split lets a caller index its own bookkeeping by the ID before
+// admission hooks (OnStart can fire synchronously from Arrive) need it.
+// Must be called at engine time.
+func (s *Scheduler) Register(sp JobSpec) (int, error) {
+	sp.At = s.eng.Now()
+	if err := validateSpec(sp, s.cl.Ranks()); err != nil {
+		return 0, err
+	}
+	return s.register(sp).id, nil
+}
+
+// Arrive enters a registered job into the admission queue at the current
+// simulated time. Must be called at engine time, exactly once per
+// registered ID.
+func (s *Scheduler) Arrive(id int) {
+	rec := s.recs[id]
+	if rec.waiting || rec.running || rec.cancelled || rec.trace != nil || rec.err != nil {
+		panic(fmt.Sprintf("sched: Arrive(%d) on a job that already arrived", id))
+	}
+	s.arrive(rec)
+}
+
+// Submit is Register followed by Arrive: validate and admit one job
+// arriving now. Must be called at engine time.
+func (s *Scheduler) Submit(sp JobSpec) (int, error) {
+	id, err := s.Register(sp)
+	if err != nil {
+		return 0, err
+	}
+	s.Arrive(id)
+	return id, nil
+}
+
+// Cancel withdraws a queued job. It reports false when the job is already
+// running, finished, cancelled, or unknown — admission is the point of no
+// return; a gang once placed runs to completion. Cancelled jobs are
+// excluded from the ClusterTrace (they consumed no cluster time) and fire
+// no OnDone.
+func (s *Scheduler) Cancel(id int) bool {
+	if id < 0 || id >= len(s.recs) {
+		return false
+	}
+	rec := s.recs[id]
+	if !rec.waiting || rec.cancelled {
+		return false
+	}
+	for i, q := range s.queue {
+		if q == rec {
+			s.queue = append(s.queue[:i], s.queue[i+1:]...)
+			break
+		}
+	}
+	rec.waiting = false
+	rec.cancelled = true
+	return true
+}
+
+// QueueLen is the number of jobs waiting for admission.
+func (s *Scheduler) QueueLen() int { return len(s.queue) }
+
+// Running is the number of jobs currently holding gangs.
+func (s *Scheduler) Running() int { return s.nRun }
+
+// FreeRanks is the number of idle GPU ranks.
+func (s *Scheduler) FreeRanks() int { return s.nFree }
+
+// Err returns the first launch failure of a batch run, if any.
+func (s *Scheduler) Err() error { return s.launchE }
+
+// Trace assembles the cluster-level record of everything admitted so far.
+// Cancelled jobs are skipped: they never touched the cluster, and a
+// replayed stream that re-cancels them produces the identical trace.
+func (s *Scheduler) Trace(makespan des.Time) *ClusterTrace {
+	ct := &ClusterTrace{Policy: s.pol, Ranks: s.cl.Ranks(), Makespan: makespan}
 	for _, rec := range s.recs {
+		if rec.cancelled {
+			continue
+		}
 		ct.Jobs = append(ct.Jobs, JobTrace{
 			ID:      rec.id,
 			Name:    rec.spec.Job.RunName(),
@@ -157,12 +249,55 @@ func Run(cc cluster.Config, pol Policy, specs []JobSpec) (*ClusterTrace, error) 
 			Trace:   rec.trace,
 		})
 	}
-	return ct, nil
+	return ct
+}
+
+// Run simulates the submitted jobs on one shared cluster under the policy
+// and returns the cluster-level trace. Everything is deterministic: the
+// same cluster, policy, and submissions produce a bit-identical trace.
+func Run(cc cluster.Config, pol Policy, specs []JobSpec) (*ClusterTrace, error) {
+	if err := cc.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadCluster, err)
+	}
+	if err := pol.Validate(cc.GPUs); err != nil {
+		return nil, err
+	}
+	if err := validateSpecs(specs, cc.GPUs); err != nil {
+		return nil, err
+	}
+
+	eng := des.NewEngine()
+	cl := cluster.New(eng, cc)
+	defer cl.Close()
+	s, err := NewScheduler(eng, cl, pol)
+	if err != nil {
+		return nil, err
+	}
+	for _, sp := range specs {
+		s.register(sp)
+	}
+	// Arrivals enter the queue in time order; submission order breaks
+	// ties, so the stream is reproducible.
+	arrivals := append([]*jobRec(nil), s.recs...)
+	sort.SliceStable(arrivals, func(i, j int) bool { return arrivals[i].arrival < arrivals[j].arrival })
+	eng.Spawn("sched.arrivals", func(p *des.Proc) {
+		for _, rec := range arrivals {
+			if d := rec.arrival - p.Now(); d > 0 {
+				p.Sleep(d)
+			}
+			s.arrive(rec)
+		}
+	})
+	makespan := eng.Run()
+	if s.launchE != nil {
+		return nil, s.launchE
+	}
+	return s.Trace(makespan), nil
 }
 
 // admit scans the queue in order, starting every job the policy lets onto
 // the idle ranks. Called on each arrival and each completion.
-func (s *scheduler) admit() {
+func (s *Scheduler) admit() {
 	i := 0
 	for i < len(s.queue) {
 		rec := s.queue[i]
@@ -180,7 +315,7 @@ func (s *scheduler) admit() {
 }
 
 // gangFor decides whether rec can start now and with how many ranks.
-func (s *scheduler) gangFor(rec *jobRec) (int, bool) {
+func (s *Scheduler) gangFor(rec *jobRec) (int, bool) {
 	switch s.pol.Kind {
 	case FIFOExclusive:
 		// One tenant at a time holding the whole machine; the gang itself
@@ -234,12 +369,15 @@ func (s *scheduler) gangFor(rec *jobRec) (int, bool) {
 }
 
 // start places a gang of size ranks and launches the job on it.
-func (s *scheduler) start(rec *jobRec, size int) {
+func (s *Scheduler) start(rec *jobRec, size int) {
 	rec.gang = s.place(size)
 	rec.admit = s.eng.Now()
 	rec.waiting = false
 	rec.running = true
 	s.nRun++
+	if s.OnStart != nil {
+		s.OnStart(rec.id, rec.gang)
+	}
 	err := rec.spec.Job.LaunchOn(s.eng, s.cl, rec.gang, func(tr *core.Trace) {
 		s.finish(rec, tr)
 		s.admit()
@@ -248,9 +386,13 @@ func (s *scheduler) start(rec *jobRec, size int) {
 		// Pre-validated jobs should not fail to launch; record the first
 		// failure and release the gang so the run can drain. No recursive
 		// admit() here — start is called from inside admit's queue scan,
-		// and the outer loop picks the freed ranks up itself.
+		// and the outer loop picks the freed ranks up itself. In online
+		// mode one tenant's bad job must not take the service down: the
+		// failure is scoped to the job (rec.err, OnDone) and the batch-run
+		// abort stays the Run wrapper's business via launchE.
+		rec.err = fmt.Errorf("sched: launching job %q: %w", rec.spec.Job.RunName(), err)
 		if s.launchE == nil {
-			s.launchE = fmt.Errorf("sched: launching job %q: %w", rec.spec.Job.RunName(), err)
+			s.launchE = rec.err
 		}
 		s.finish(rec, nil)
 	}
@@ -258,11 +400,14 @@ func (s *scheduler) start(rec *jobRec, size int) {
 
 // finish releases a completed job's gang. Completion callbacks re-run
 // admission afterwards; the synchronous launch-error path must not.
-func (s *scheduler) finish(rec *jobRec, tr *core.Trace) {
+func (s *Scheduler) finish(rec *jobRec, tr *core.Trace) {
 	rec.finish = s.eng.Now()
 	rec.trace = tr
 	rec.running = false
 	s.nRun--
+	if s.OnDone != nil {
+		s.OnDone(rec.id, tr, rec.err)
+	}
 	for _, r := range rec.gang {
 		s.free[r] = true
 		// Straggler derating injected by the tenant's fault plan is
@@ -278,7 +423,7 @@ func (s *scheduler) finish(rec *jobRec, tr *core.Trace) {
 // remainder so large idle nodes stay whole for the next big gang.
 // Deterministic: ties break toward the lowest node ID, ranks ascend within
 // a node.
-func (s *scheduler) place(size int) []int {
+func (s *Scheduler) place(size int) []int {
 	gang := make([]int, 0, size)
 	for len(gang) < size {
 		need := size - len(gang)
@@ -335,7 +480,7 @@ func (s *scheduler) place(size int) []int {
 }
 
 // freeOn counts a node's idle ranks.
-func (s *scheduler) freeOn(node int) int {
+func (s *Scheduler) freeOn(node int) int {
 	n := 0
 	for _, dev := range s.cl.Nodes[node].GPUs {
 		if s.free[dev.ID] {

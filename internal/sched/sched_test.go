@@ -363,3 +363,171 @@ func TestMoldedGangDropsOutOfRangeFaultEvents(t *testing.T) {
 		t.Fatal("molded faulty job produced no result")
 	}
 }
+
+// --- online/edge-case coverage (PR 5) ---
+
+// TestBackfillSkipsUnfittableHead: a head-of-line job whose MinGang
+// exceeds everything that can come free while a long job runs must not
+// block the queue — backfill admits later small jobs ahead of it, and
+// NoBackfill (the control) makes them wait.
+func TestBackfillSkipsUnfittableHead(t *testing.T) {
+	specs := func() []JobSpec {
+		return []JobSpec{
+			// Holds 8 ranks for a long time.
+			{At: 0, Job: makeJob("long", 8, 16, 512), MinGang: 8},
+			// The unfittable head: needs all 16 ranks at once, refuses to
+			// mold below 16 — it cannot start until "long" finishes.
+			{At: des.Millisecond, Job: makeJob("head", 16, 4, 256), MinGang: 16},
+			// Small enough for the 8 idle ranks.
+			{At: 2 * des.Millisecond, Job: makeJob("little", 2, 2, 256)},
+		}
+	}
+	ct, err := Run(cc16(), Policy{Kind: WeightedFair}, specs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, head, little := jobByID(ct, 0), jobByID(ct, 1), jobByID(ct, 2)
+	if head.Admit < long.Finish {
+		t.Errorf("unfittable head admitted at %v before long finished at %v", head.Admit, long.Finish)
+	}
+	if little.Admit >= head.Admit {
+		t.Errorf("backfill failed: little admitted %v, after head %v", little.Admit, head.Admit)
+	}
+
+	noBF, err := Run(cc16(), Policy{Kind: WeightedFair, NoBackfill: true}, specs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	head2, little2 := jobByID(noBF, 1), jobByID(noBF, 2)
+	if little2.Admit < head2.Admit {
+		t.Errorf("NoBackfill still overtook the head: little %v, head %v", little2.Admit, head2.Admit)
+	}
+}
+
+// TestFixedShareAtBoundary: gangs sized exactly at the share cap pack the
+// cluster with no slack — want == Share admits while ranks last, the
+// next job waits for a completion, and want > Share is capped to Share.
+func TestFixedShareAtBoundary(t *testing.T) {
+	specs := []JobSpec{
+		{At: 0, Job: makeJob("a", 4, 4, 256)},
+		{At: 0, Job: makeJob("b", 4, 4, 256)},
+		{At: 0, Job: makeJob("c", 4, 4, 256)},
+		{At: 0, Job: makeJob("d", 16, 4, 256)}, // capped to Share
+		{At: 0, Job: makeJob("e", 4, 4, 256)},  // must wait: 0 ranks free
+	}
+	ct, err := Run(cc16(), Policy{Kind: FixedShare, Share: 4}, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var minFinish des.Time
+	for id := 0; id < 4; id++ {
+		j := jobByID(ct, id)
+		if j.Admit != 0 {
+			t.Errorf("job %d admitted at %v, want 0 (16 ranks / share 4 = 4 concurrent)", id, j.Admit)
+		}
+		if j.Granted != 4 {
+			t.Errorf("job %d granted %d ranks, want share cap 4", id, j.Granted)
+		}
+		if minFinish == 0 || j.Finish < minFinish {
+			minFinish = j.Finish
+		}
+	}
+	e := jobByID(ct, 4)
+	if e.Admit < minFinish {
+		t.Errorf("fifth gang admitted at %v with zero free ranks (first finish %v)", e.Admit, minFinish)
+	}
+	if e.Admit != minFinish {
+		t.Errorf("fifth gang admitted at %v, want exactly the first completion %v", e.Admit, minFinish)
+	}
+}
+
+// TestMinGangValidation covers the named-error paths for gangs that can
+// never exist: MinGang above the request, and requests (or floors) above
+// the whole cluster.
+func TestMinGangValidation(t *testing.T) {
+	// MinGang larger than the request.
+	_, err := Run(cc16(), Policy{Kind: WeightedFair},
+		[]JobSpec{{At: 0, Job: makeJob("m", 8, 4, 64), MinGang: 9}})
+	if !errors.Is(err, ErrBadMinGang) {
+		t.Errorf("MinGang 9 of want 8: err=%v, want ErrBadMinGang", err)
+	}
+	// MinGang larger than the cluster — the request must be at least as
+	// large, so the gang-too-big check fires first.
+	_, err = Run(cc16(), Policy{Kind: WeightedFair},
+		[]JobSpec{{At: 0, Job: makeJob("g", 20, 4, 64), MinGang: 20}})
+	if !errors.Is(err, ErrGangTooBig) {
+		t.Errorf("MinGang 20 on 16 ranks: err=%v, want ErrGangTooBig", err)
+	}
+	// Same paths through the incremental API.
+	eng := des.NewEngine()
+	cl := cluster.New(eng, cc16())
+	defer cl.Close()
+	s, err := NewScheduler(eng, cl, Policy{Kind: WeightedFair})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Register(JobSpec{Job: makeJob("m", 8, 4, 64), MinGang: 9}); !errors.Is(err, ErrBadMinGang) {
+		t.Errorf("incremental MinGang 9 of 8: err=%v, want ErrBadMinGang", err)
+	}
+	if _, err := s.Register(JobSpec{Job: makeJob("g", 20, 4, 64), MinGang: 20}); !errors.Is(err, ErrGangTooBig) {
+		t.Errorf("incremental MinGang 20 on 16 ranks: err=%v, want ErrGangTooBig", err)
+	}
+}
+
+// TestIncrementalSubmitCancel drives the online API directly: submissions
+// at engine time, lifecycle hooks, cancellation of a queued job, and the
+// cancelled job's absence from the trace.
+func TestIncrementalSubmitCancel(t *testing.T) {
+	eng := des.NewEngine()
+	cl := cluster.New(eng, cc16())
+	defer cl.Close()
+	s, err := NewScheduler(eng, cl, Policy{Kind: FIFOExclusive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var started, done []int
+	s.OnStart = func(id int, gang []int) { started = append(started, id) }
+	s.OnDone = func(id int, tr *core.Trace, err error) {
+		if err != nil {
+			t.Errorf("job %d failed: %v", id, err)
+		}
+		done = append(done, id)
+	}
+	eng.Spawn("driver", func(p *des.Proc) {
+		id0, err := s.Submit(JobSpec{Job: makeJob("first", 8, 8, 256)})
+		if err != nil {
+			t.Errorf("submit first: %v", err)
+		}
+		if s.Running() != 1 || s.QueueLen() != 0 {
+			t.Errorf("after first: running %d queue %d, want 1/0", s.Running(), s.QueueLen())
+		}
+		p.Sleep(des.Millisecond)
+		id1, err := s.Submit(JobSpec{Job: makeJob("second", 4, 4, 256)})
+		if err != nil {
+			t.Errorf("submit second: %v", err)
+		}
+		if s.QueueLen() != 1 {
+			t.Errorf("second not queued under fifo-exclusive: queue %d", s.QueueLen())
+		}
+		if s.Cancel(id0) {
+			t.Error("cancelled a running job")
+		}
+		if !s.Cancel(id1) {
+			t.Error("could not cancel a queued job")
+		}
+		if s.Cancel(id1) {
+			t.Error("double-cancel succeeded")
+		}
+		if s.Cancel(42) {
+			t.Error("cancelled an unknown id")
+		}
+	})
+	makespan := eng.Run()
+	ct := s.Trace(makespan)
+	if len(ct.Jobs) != 1 || ct.Jobs[0].Name != "first" {
+		t.Fatalf("trace should hold only the uncancelled job: %v", ct.String())
+	}
+	if len(started) != 1 || started[0] != 0 || len(done) != 1 || done[0] != 0 {
+		t.Fatalf("hooks: started %v done %v, want [0]/[0]", started, done)
+	}
+}

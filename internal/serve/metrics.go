@@ -1,0 +1,67 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteMetrics renders the service's counters in Prometheus text
+// exposition format: lifecycle counters, admission rejects by reason,
+// queue/running gauges, per-tenant admission stats, and the cluster-trace
+// aggregates (wire bytes, queue-wait and service-time integrals). Safe
+// from any goroutine.
+func (sv *Server) WriteMetrics(w io.Writer) {
+	sv.ses.mu.Lock()
+	s := sv.ses.stats.clone()
+	vnow := sv.ses.vnow
+	sv.ses.mu.Unlock()
+
+	counter := func(name, help string, v any) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %v\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v any) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %v\n", name, help, name, name, v)
+	}
+
+	counter("gpmr_serve_submitted_total", "Submissions crossing the service boundary.", s.Submitted)
+	counter("gpmr_serve_done_total", "Jobs completed successfully.", s.Done)
+	counter("gpmr_serve_failed_total", "Admitted jobs that failed to launch.", s.Failed)
+	counter("gpmr_serve_cancelled_total", "Jobs withdrawn from the queue.", s.Cancelled)
+
+	fmt.Fprintf(w, "# HELP gpmr_serve_rejected_total Submissions turned away by admission control.\n")
+	fmt.Fprintf(w, "# TYPE gpmr_serve_rejected_total counter\n")
+	fmt.Fprintf(w, "gpmr_serve_rejected_total{reason=\"shed\"} %d\n", s.RejectedShed)
+	fmt.Fprintf(w, "gpmr_serve_rejected_total{reason=\"quota\"} %d\n", s.RejectedQuota)
+	fmt.Fprintf(w, "gpmr_serve_rejected_total{reason=\"invalid\"} %d\n", s.RejectedInvalid)
+
+	gauge("gpmr_serve_queue_depth", "Jobs admitted and waiting for a gang.", s.Queued)
+	gauge("gpmr_serve_running", "Jobs currently holding gangs.", s.Running)
+	gauge("gpmr_serve_ranks", "Total GPU ranks in the shared cluster.", sv.ses.cl.Ranks())
+	gauge("gpmr_serve_virtual_time_seconds", "Virtual time of the last state change.", vnow.Seconds())
+
+	counter("gpmr_serve_wire_bytes_total", "Cross-node bytes moved by completed jobs.", s.WireBytes)
+	counter("gpmr_serve_wait_seconds_total", "Queue wait integral over placed jobs.", s.WaitTotal.Seconds())
+	counter("gpmr_serve_service_seconds_total", "Service time integral over placed jobs.", s.ServiceTotal.Seconds())
+
+	tenants := make([]string, 0, len(s.Tenants))
+	for t := range s.Tenants {
+		tenants = append(tenants, t)
+	}
+	sort.Strings(tenants)
+	fmt.Fprintf(w, "# HELP gpmr_serve_tenant_submitted_total Per-tenant submissions.\n")
+	fmt.Fprintf(w, "# TYPE gpmr_serve_tenant_submitted_total counter\n")
+	for _, t := range tenants {
+		fmt.Fprintf(w, "gpmr_serve_tenant_submitted_total{tenant=%q} %d\n", t, s.Tenants[t].Submitted)
+	}
+	fmt.Fprintf(w, "# HELP gpmr_serve_tenant_rejected_total Per-tenant admission rejects.\n")
+	fmt.Fprintf(w, "# TYPE gpmr_serve_tenant_rejected_total counter\n")
+	for _, t := range tenants {
+		fmt.Fprintf(w, "gpmr_serve_tenant_rejected_total{tenant=%q} %d\n", t, s.Tenants[t].Rejected)
+	}
+	fmt.Fprintf(w, "# HELP gpmr_serve_tenant_done_total Per-tenant completed jobs.\n")
+	fmt.Fprintf(w, "# TYPE gpmr_serve_tenant_done_total counter\n")
+	for _, t := range tenants {
+		fmt.Fprintf(w, "gpmr_serve_tenant_done_total{tenant=%q} %d\n", t, s.Tenants[t].Done)
+	}
+}

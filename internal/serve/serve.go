@@ -1,0 +1,727 @@
+// Package serve turns the batch simulator into an online job service: an
+// open system where MapReduce jobs arrive while the cluster is live,
+// admission control sheds load the cluster cannot absorb, and every
+// boundary event is recorded so any live run can be replayed offline,
+// byte for byte.
+//
+// The layering is deliberate. internal/sched remains the closed-system
+// scheduler (policies, placement, backfill); serve wraps its incremental
+// API with the things only an open system needs: per-tenant quotas, a
+// bounded admission queue with reject/shed backpressure, a job lifecycle
+// (submitted → queued → running → done/failed, plus rejected and
+// cancelled), and the wall-clock boundary. Live mode maps wall-clock
+// arrivals onto virtual time through the des engine's injection
+// primitive; replay mode drives the identical admission code from a
+// recorded trace, with no wall clock anywhere. See DESIGN.md, "Online
+// serving".
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/des"
+	"repro/internal/sched"
+)
+
+// State is a job's position in the service lifecycle.
+type State int
+
+const (
+	// Rejected jobs never reached the cluster: admission control turned
+	// them away (shed, quota, or invalid submission).
+	Rejected State = iota
+	// Queued jobs passed admission and wait for a gang.
+	Queued
+	// Running jobs hold a gang.
+	Running
+	// Done jobs completed and their output digest is recorded.
+	Done
+	// Failed jobs were admitted but could not launch.
+	Failed
+	// Cancelled jobs were withdrawn from the queue before placement.
+	Cancelled
+)
+
+// String names the state for reports and JSON.
+func (s State) String() string {
+	switch s {
+	case Rejected:
+		return "rejected"
+	case Queued:
+		return "queued"
+	case Running:
+		return "running"
+	case Done:
+		return "done"
+	case Failed:
+		return "failed"
+	case Cancelled:
+		return "cancelled"
+	}
+	return "unknown"
+}
+
+// Request is one submission crossing the service boundary.
+type Request struct {
+	Tenant string
+	Kind   string
+	Params Params
+	// Weight and MinGang pass through to the scheduler policy (see
+	// sched.JobSpec).
+	Weight  int
+	MinGang int
+}
+
+// JobInfo is the service's record of one submission. All times are
+// virtual (simulated) times.
+type JobInfo struct {
+	ID     int    `json:"id"`
+	Tenant string `json:"tenant"`
+	Kind   string `json:"kind"`
+	Name   string `json:"name"`
+	Params Params `json:"params,omitempty"`
+
+	State  State  `json:"-"`
+	Status string `json:"state"` // State.String(), kept in sync for JSON
+	Reason string `json:"reason,omitempty"`
+
+	Arrival des.Time `json:"arrival"`
+	Admit   des.Time `json:"admit,omitempty"`
+	Finish  des.Time `json:"finish,omitempty"`
+
+	Want    int `json:"want,omitempty"`
+	Granted int `json:"granted,omitempty"`
+
+	// Digest is the canonical output digest (core.OutputDigester), valid
+	// when HasDigest is set — the replay-verification handle.
+	Digest    uint64 `json:"digest,omitempty"`
+	HasDigest bool   `json:"hasDigest,omitempty"`
+
+	WireBytes int64 `json:"wireBytes,omitempty"`
+}
+
+// TenantStats aggregates one tenant's admission history.
+type TenantStats struct {
+	Submitted int64
+	Admitted  int64
+	Rejected  int64
+	Done      int64
+}
+
+// Stats aggregates the service's admission and completion counters, plus
+// the current queue/running gauges.
+type Stats struct {
+	Submitted       int64
+	Admitted        int64
+	Done            int64
+	Failed          int64
+	Cancelled       int64
+	RejectedShed    int64
+	RejectedQuota   int64
+	RejectedInvalid int64
+
+	Queued  int64 // gauge: currently waiting for a gang
+	Running int64 // gauge: currently holding gangs
+
+	WireBytes    int64    // cross-node traffic of completed jobs
+	WaitTotal    des.Time // Σ (admit − arrival) over placed jobs
+	ServiceTotal des.Time // Σ (finish − admit) over placed jobs
+
+	Tenants map[string]*TenantStats
+}
+
+// rejected sums the reject counters.
+func (s *Stats) rejected() int64 { return s.RejectedShed + s.RejectedQuota + s.RejectedInvalid }
+
+// clone deep-copies the stats for a snapshot.
+func (s *Stats) clone() Stats {
+	out := *s
+	out.Tenants = make(map[string]*TenantStats, len(s.Tenants))
+	for k, v := range s.Tenants {
+		c := *v
+		out.Tenants[k] = &c
+	}
+	return out
+}
+
+// Config shapes one service instance.
+type Config struct {
+	Cluster cluster.Config
+	Policy  sched.Policy
+	Catalog *Catalog
+
+	// MaxQueue bounds the admission queue: a submission arriving while
+	// MaxQueue jobs already wait is shed with a reject, the service's
+	// backpressure signal. 0 defaults to 64; negative means unbounded.
+	MaxQueue int
+	// Quota caps any one tenant's in-flight jobs (queued + running);
+	// 0 means unlimited. Quotas overrides per tenant.
+	Quota  int
+	Quotas map[string]int
+
+	// TimeScale maps wall-clock onto virtual time in live mode: an
+	// arrival T wall-seconds after start lands at T·TimeScale virtual
+	// seconds (or at the engine frontier, whichever is later — virtual
+	// time never runs backwards). 0 defaults to 1. Replay ignores it.
+	TimeScale float64
+	// TraceW, when set, records the live arrival trace (JSONL; see
+	// trace.go). Replay ignores it.
+	TraceW io.Writer
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxQueue == 0 {
+		c.MaxQueue = 64
+	}
+	if c.TimeScale == 0 {
+		c.TimeScale = 1
+	}
+	return c
+}
+
+// header captures everything admission depends on for the trace.
+func (c Config) header() Header {
+	return Header{
+		Version:     TraceVersion,
+		Policy:      c.Policy.Kind.String(),
+		Share:       c.Policy.Share,
+		NoBackfill:  c.Policy.NoBackfill,
+		GPUs:        c.Cluster.GPUs,
+		GPUsPerNode: c.Cluster.GPUsPerNode,
+		MaxQueue:    c.MaxQueue,
+		Quota:       c.Quota,
+		Quotas:      c.Quotas,
+		PhysBudget:  c.Catalog.PhysBudget(),
+	}
+}
+
+// quotaFor resolves one tenant's in-flight cap (0 = unlimited).
+func (c Config) quotaFor(tenant string) int {
+	if q, ok := c.Quotas[tenant]; ok {
+		return q
+	}
+	return c.Quota
+}
+
+// session is the mode-independent half of the service: the engine,
+// cluster, scheduler, and bookkeeping shared by live and replay runs.
+// All mutations happen at engine time (engine-confined); the mutex only
+// publishes job records and stats to foreign reader goroutines (HTTP).
+type session struct {
+	cfg Config
+	eng *des.Engine
+	cl  *cluster.Cluster
+	sch *sched.Scheduler
+	rec *TraceWriter
+
+	mu       sync.Mutex
+	jobs     []*JobInfo
+	stats    Stats
+	inflight map[string]int // per-tenant queued+running
+	vnow     des.Time       // virtual time of the last state change
+
+	// Engine-confined (never read by foreign goroutines):
+	runnables []core.Runnable // by serve ID; dropped once digested
+	schedOf   []int           // serve ID → sched ID, -1 when never admitted
+	serveOf   map[int]int     // sched ID → serve ID
+}
+
+func newSession(cfg Config) (*session, error) {
+	if cfg.Catalog == nil {
+		return nil, errors.New("serve: config needs a Catalog")
+	}
+	if err := cfg.Cluster.Validate(); err != nil {
+		return nil, err
+	}
+	eng := des.NewEngine()
+	cl := cluster.New(eng, cfg.Cluster)
+	sch, err := sched.NewScheduler(eng, cl, cfg.Policy)
+	if err != nil {
+		cl.Close()
+		return nil, err
+	}
+	ses := &session{
+		cfg:      cfg,
+		eng:      eng,
+		cl:       cl,
+		sch:      sch,
+		inflight: make(map[string]int),
+		serveOf:  make(map[int]int),
+	}
+	ses.stats.Tenants = make(map[string]*TenantStats)
+	if cfg.TraceW != nil {
+		ses.rec = NewTraceWriter(cfg.TraceW, cfg.header())
+	}
+	sch.OnStart = ses.onStart
+	sch.OnDone = ses.onDone
+	return ses, nil
+}
+
+// tenantStats returns (creating) one tenant's counters. Callers hold mu.
+func (ses *session) tenantStats(tenant string) *TenantStats {
+	ts := ses.stats.Tenants[tenant]
+	if ts == nil {
+		ts = &TenantStats{}
+		ses.stats.Tenants[tenant] = ts
+	}
+	return ts
+}
+
+// arrive runs one submission through admission at the current simulated
+// time. Engine-confined; returns a copy of the job's record.
+func (ses *session) arrive(now des.Time, req Request) JobInfo {
+	id := len(ses.jobs)
+	name := fmt.Sprintf("%s-%s-%d", req.Tenant, req.Kind, id)
+	// The trace records every arrival — including ones about to be
+	// rejected — because rejects are decisions, and decisions are
+	// recomputed on replay, not recorded.
+	if ses.rec != nil {
+		ses.rec.Arrive(Arrival{Seq: id, At: now, Tenant: req.Tenant, Kind: req.Kind,
+			Params: req.Params, Weight: req.Weight, MinGang: req.MinGang})
+	}
+
+	info := &JobInfo{
+		ID: id, Tenant: req.Tenant, Kind: req.Kind, Name: name, Params: req.Params,
+		Arrival: now, State: Rejected, Status: Rejected.String(),
+	}
+	ses.runnables = append(ses.runnables, nil)
+	ses.schedOf = append(ses.schedOf, -1)
+
+	ses.mu.Lock()
+	defer ses.mu.Unlock()
+	ses.jobs = append(ses.jobs, info)
+	ses.vnow = now
+	ses.stats.Submitted++
+	ts := ses.tenantStats(req.Tenant)
+	ts.Submitted++
+
+	reject := func(reason string, counter *int64) JobInfo {
+		info.Reason = reason
+		*counter = *counter + 1
+		ts.Rejected++
+		return *info
+	}
+
+	run, err := ses.cfg.Catalog.Build(req.Kind, name, req.Params)
+	if err != nil {
+		return reject(err.Error(), &ses.stats.RejectedInvalid)
+	}
+	info.Want = run.GangWant()
+	if ses.cfg.MaxQueue >= 0 && ses.sch.QueueLen() >= ses.cfg.MaxQueue {
+		return reject(fmt.Sprintf("shed: admission queue full (%d waiting)", ses.sch.QueueLen()),
+			&ses.stats.RejectedShed)
+	}
+	if q := ses.cfg.quotaFor(req.Tenant); q > 0 && ses.inflight[req.Tenant] >= q {
+		return reject(fmt.Sprintf("quota: tenant %q has %d jobs in flight (cap %d)",
+			req.Tenant, ses.inflight[req.Tenant], q), &ses.stats.RejectedQuota)
+	}
+
+	// Admission. Submit synchronously runs the admission scan, so OnStart
+	// may fire (and flip the state to Running) before Submit returns —
+	// set Queued first and let the hook overwrite. The hooks re-lock mu;
+	// release it across the call.
+	info.State = Queued
+	info.Status = Queued.String()
+	ses.stats.Admitted++
+	ses.stats.Queued++
+	ts.Admitted++
+	ses.inflight[req.Tenant]++
+	ses.runnables[id] = run
+	ses.mu.Unlock()
+	// Register first so the sched↔serve ID maps are in place before
+	// Arrive runs admission — OnStart can fire synchronously from it.
+	schedID, err := ses.sch.Register(sched.JobSpec{Job: run, Weight: req.Weight, MinGang: req.MinGang})
+	if err == nil {
+		ses.schedOf[id] = schedID
+		ses.serveOf[schedID] = id
+		ses.sch.Arrive(schedID)
+	}
+	ses.mu.Lock()
+	if err != nil {
+		// The job was validated by the catalog but the scheduler still
+		// refused it (e.g. it wants more ranks than the cluster has).
+		info.State = Rejected
+		info.Status = Rejected.String()
+		ses.stats.Admitted--
+		ses.stats.Queued--
+		ts.Admitted--
+		ses.inflight[req.Tenant]--
+		ses.runnables[id] = nil
+		return reject(err.Error(), &ses.stats.RejectedInvalid)
+	}
+	return *info
+}
+
+// cancel withdraws a queued job at the current simulated time.
+// Engine-confined.
+func (ses *session) cancel(now des.Time, id int) bool {
+	if id < 0 || id >= len(ses.jobs) {
+		return false
+	}
+	info := ses.jobs[id]
+	if info.State != Queued || !ses.sch.Cancel(ses.schedOf[id]) {
+		return false
+	}
+	if ses.rec != nil {
+		ses.rec.Cancel(Cancel{Seq: id, At: now})
+	}
+	ses.runnables[id] = nil
+	ses.mu.Lock()
+	defer ses.mu.Unlock()
+	ses.vnow = now
+	info.State = Cancelled
+	info.Status = Cancelled.String()
+	info.Finish = now
+	ses.stats.Cancelled++
+	ses.stats.Queued--
+	ses.inflight[info.Tenant]--
+	return true
+}
+
+// onStart is the scheduler's placement hook.
+func (ses *session) onStart(schedID int, gang []int) {
+	id := ses.serveOf[schedID]
+	info := ses.jobs[id]
+	ses.mu.Lock()
+	defer ses.mu.Unlock()
+	ses.vnow = ses.eng.Now()
+	info.State = Running
+	info.Status = Running.String()
+	info.Admit = ses.eng.Now()
+	info.Granted = len(gang)
+	ses.stats.Queued--
+	ses.stats.Running++
+}
+
+// onDone is the scheduler's completion hook: extract the output digest,
+// drop the job's runnable (a long-running service must not accumulate
+// results), and settle the counters.
+func (ses *session) onDone(schedID int, tr *core.Trace, err error) {
+	id := ses.serveOf[schedID]
+	info := ses.jobs[id]
+	now := ses.eng.Now()
+	var digest uint64
+	var hasDigest bool
+	if err == nil {
+		if d, ok := ses.runnables[id].(core.OutputDigester); ok {
+			digest, hasDigest = d.OutputDigest()
+		}
+	}
+	ses.runnables[id] = nil
+
+	ses.mu.Lock()
+	defer ses.mu.Unlock()
+	ses.vnow = now
+	info.Finish = now
+	info.Digest = digest
+	info.HasDigest = hasDigest
+	ses.stats.Running--
+	ses.inflight[info.Tenant]--
+	ses.stats.WaitTotal += info.Admit - info.Arrival
+	ses.stats.ServiceTotal += now - info.Admit
+	if err != nil {
+		info.State = Failed
+		info.Status = Failed.String()
+		info.Reason = err.Error()
+		ses.stats.Failed++
+		return
+	}
+	info.State = Done
+	info.Status = Done.String()
+	ses.stats.Done++
+	ses.tenantStats(info.Tenant).Done++
+	if tr != nil {
+		info.WireBytes = tr.WireBytes
+		ses.stats.WireBytes += tr.WireBytes
+	}
+}
+
+// report assembles the end-of-run record.
+func (ses *session) report(makespan des.Time) *Report {
+	ses.mu.Lock()
+	defer ses.mu.Unlock()
+	r := &Report{Cluster: ses.sch.Trace(makespan), Stats: ses.stats.clone()}
+	for _, j := range ses.jobs {
+		r.Jobs = append(r.Jobs, *j)
+	}
+	return r
+}
+
+// Report is a completed (drained) run: the cluster-level scheduling trace
+// of everything admitted, the full serve-level job table, and the
+// admission counters.
+type Report struct {
+	Cluster *sched.ClusterTrace
+	Jobs    []JobInfo
+	Stats   Stats
+}
+
+// String renders the report deterministically: a live run, its replay,
+// and an equivalent offline sched.Run must print byte-identical text.
+func (r *Report) String() string {
+	var sb strings.Builder
+	sb.WriteString(r.Cluster.String())
+	s := &r.Stats
+	fmt.Fprintf(&sb, "serve: %d submitted  %d done  %d failed  %d cancelled  %d rejected (shed %d quota %d invalid %d)\n",
+		s.Submitted, s.Done, s.Failed, s.Cancelled, s.rejected(),
+		s.RejectedShed, s.RejectedQuota, s.RejectedInvalid)
+	fmt.Fprintf(&sb, "serve: wait total %v  service total %v  wire %.1f MB\n",
+		s.WaitTotal, s.ServiceTotal, float64(s.WireBytes)/1e6)
+	tenants := make([]string, 0, len(s.Tenants))
+	for t := range s.Tenants {
+		tenants = append(tenants, t)
+	}
+	sort.Strings(tenants)
+	for _, t := range tenants {
+		ts := s.Tenants[t]
+		fmt.Fprintf(&sb, "  tenant %-10s submitted %3d  admitted %3d  rejected %3d  done %3d\n",
+			t, ts.Submitted, ts.Admitted, ts.Rejected, ts.Done)
+	}
+	for i := range r.Jobs {
+		j := &r.Jobs[i]
+		dig := "-"
+		if j.HasDigest {
+			dig = fmt.Sprintf("%016x", j.Digest)
+		}
+		reason := ""
+		if j.Reason != "" {
+			reason = "  " + j.Reason
+		}
+		fmt.Fprintf(&sb, "  sjob %3d %-9s %-24s arr %12v  fin %12v  dig %s%s\n",
+			j.ID, j.State, j.Name, j.Arrival, j.Finish, dig, reason)
+	}
+	return sb.String()
+}
+
+// ErrDraining reports a submission or cancellation against a server that
+// is shutting down.
+var ErrDraining = errors.New("serve: server is draining")
+
+// Server is the live service: a running engine fed through an injector,
+// with wall-clock arrivals mapped onto virtual time at this boundary.
+// Submit, Cancel, and the snapshot methods are safe from any goroutine.
+type Server struct {
+	ses   *session
+	inj   *des.Injector
+	base  time.Time
+	scale float64
+
+	draining  atomic.Bool
+	drainOnce sync.Once
+	runDone   chan struct{}
+	makespan  des.Time
+	report    *Report
+	drainErr  error
+}
+
+// Start builds the cluster and begins serving. The engine runs on a
+// background goroutine, parked whenever there is no work; Drain shuts it
+// down.
+func Start(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	ses, err := newSession(cfg)
+	if err != nil {
+		return nil, err
+	}
+	sv := &Server{
+		ses:     ses,
+		inj:     ses.eng.NewInjector(),
+		base:    time.Now(),
+		scale:   cfg.TimeScale,
+		runDone: make(chan struct{}),
+	}
+	go func() {
+		defer close(sv.runDone)
+		sv.makespan = ses.eng.Run()
+		ses.cl.Close()
+	}()
+	return sv, nil
+}
+
+// wallVT maps the current wall-clock offset onto virtual time.
+func (sv *Server) wallVT() des.Time {
+	return des.FromSeconds(time.Since(sv.base).Seconds() * sv.scale)
+}
+
+// Submit runs one submission through admission and returns its record —
+// state Queued (or already Running) when admitted, Rejected with a reason
+// when admission turned it away. It blocks until the simulation reaches
+// the arrival's virtual time (normally instantaneous: a parked engine
+// jumps straight to it).
+func (sv *Server) Submit(req Request) (JobInfo, error) {
+	if sv.draining.Load() {
+		return JobInfo{}, ErrDraining
+	}
+	vt := sv.wallVT()
+	ch := make(chan JobInfo, 1)
+	err := sv.inj.Inject("serve.arrival", func(p *des.Proc) {
+		if d := vt - p.Now(); d > 0 {
+			p.Sleep(d)
+		}
+		ch <- sv.ses.arrive(p.Now(), req)
+	})
+	if err != nil {
+		return JobInfo{}, ErrDraining
+	}
+	return <-ch, nil
+}
+
+// Cancel withdraws a queued job; it reports false when the job is
+// already running, finished, or unknown. Cancels apply at the engine
+// frontier rather than the wall-mapped instant: unlike an arrival, a
+// cancel may be a no-op, and a no-op must not advance virtual time (an
+// unrecorded advance would make the live makespan diverge from the
+// trace's replay). The successful case records its actual application
+// time, which is all replay needs.
+func (sv *Server) Cancel(id int) (bool, error) {
+	if sv.draining.Load() {
+		return false, ErrDraining
+	}
+	ch := make(chan bool, 1)
+	err := sv.inj.Inject("serve.cancel", func(p *des.Proc) {
+		ch <- sv.ses.cancel(p.Now(), id)
+	})
+	if err != nil {
+		return false, ErrDraining
+	}
+	return <-ch, nil
+}
+
+// Job returns a snapshot of one job's record.
+func (sv *Server) Job(id int) (JobInfo, bool) {
+	sv.ses.mu.Lock()
+	defer sv.ses.mu.Unlock()
+	if id < 0 || id >= len(sv.ses.jobs) {
+		return JobInfo{}, false
+	}
+	return *sv.ses.jobs[id], true
+}
+
+// Jobs returns a snapshot of every job record, by ID.
+func (sv *Server) Jobs() []JobInfo {
+	sv.ses.mu.Lock()
+	defer sv.ses.mu.Unlock()
+	out := make([]JobInfo, len(sv.ses.jobs))
+	for i, j := range sv.ses.jobs {
+		out[i] = *j
+	}
+	return out
+}
+
+// Stats returns a snapshot of the admission counters.
+func (sv *Server) Stats() Stats {
+	sv.ses.mu.Lock()
+	defer sv.ses.mu.Unlock()
+	return sv.ses.stats.clone()
+}
+
+// VirtualNow returns the virtual time of the service's last state change.
+func (sv *Server) VirtualNow() des.Time {
+	sv.ses.mu.Lock()
+	defer sv.ses.mu.Unlock()
+	return sv.ses.vnow
+}
+
+// Drain stops accepting work, waits for every admitted job to finish,
+// flushes the arrival trace, and returns the final report. Idempotent;
+// concurrent callers all receive the same report.
+func (sv *Server) Drain() (*Report, error) {
+	sv.draining.Store(true)
+	sv.drainOnce.Do(func() {
+		if err := sv.inj.Close(); err != nil {
+			sv.drainErr = err
+		}
+		<-sv.runDone
+		sv.report = sv.ses.report(sv.makespan)
+		if sv.ses.rec != nil {
+			if err := sv.ses.rec.Flush(); err != nil && sv.drainErr == nil {
+				sv.drainErr = err
+			}
+		}
+	})
+	return sv.report, sv.drainErr
+}
+
+// ReplayOptions tunes an offline replay.
+type ReplayOptions struct {
+	// Catalog overrides the default catalog built from the trace's
+	// physical budget. It must match the catalog the live run used, or
+	// replayed outputs will (detectably) diverge.
+	Catalog *Catalog
+	// Workers selects the kernel-execution backend (cluster.Config.Workers).
+	Workers int
+	// Cluster overrides the cluster reconstruction. The trace header only
+	// records the machine's shape (GPUs, GPUs per node) and Replay rebuilds
+	// the paper's default testbed from it; a live run on non-default
+	// hardware properties must supply the same cluster here.
+	Cluster *cluster.Config
+}
+
+// Replay feeds a recorded arrival trace through the identical admission
+// and scheduling code with no wall clock anywhere: arrivals fire at their
+// recorded virtual times from one deterministic process. The returned
+// report — admissions, rejects, gangs, traces, output digests — is
+// byte-identical to the live run's, and to any other replay of the same
+// trace.
+func Replay(tr *Trace, opt ReplayOptions) (*Report, error) {
+	pol, err := tr.Header.policy()
+	if err != nil {
+		return nil, err
+	}
+	cc := cluster.DefaultConfig(tr.Header.GPUs)
+	if opt.Cluster != nil {
+		cc = *opt.Cluster
+	} else if tr.Header.GPUsPerNode > 0 {
+		cc.GPUsPerNode = tr.Header.GPUsPerNode
+	}
+	// An explicit cluster override keeps its own Workers unless the
+	// option asks for a specific backend.
+	if opt.Cluster == nil || opt.Workers != 0 {
+		cc.Workers = opt.Workers
+	}
+	cat := opt.Catalog
+	if cat == nil {
+		cat = DefaultCatalog(tr.Header.PhysBudget)
+	}
+	cfg := Config{
+		Cluster:  cc,
+		Policy:   pol,
+		Catalog:  cat,
+		MaxQueue: tr.Header.MaxQueue,
+		Quota:    tr.Header.Quota,
+		Quotas:   tr.Header.Quotas,
+	}.withDefaults()
+	ses, err := newSession(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer ses.cl.Close()
+	events := tr.Events
+	ses.eng.Spawn("serve.replay", func(p *des.Proc) {
+		for _, ev := range events {
+			if d := ev.at() - p.Now(); d > 0 {
+				p.Sleep(d)
+			}
+			if a := ev.Arrive; a != nil {
+				info := ses.arrive(p.Now(), Request{Tenant: a.Tenant, Kind: a.Kind,
+					Params: a.Params, Weight: a.Weight, MinGang: a.MinGang})
+				if info.ID != a.Seq {
+					panic(fmt.Sprintf("serve: replay assigned ID %d to recorded seq %d", info.ID, a.Seq))
+				}
+			} else {
+				ses.cancel(p.Now(), ev.Cancel.Seq)
+			}
+		}
+	})
+	makespan := ses.eng.Run()
+	return ses.report(makespan), nil
+}

@@ -1,0 +1,171 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/des"
+	"repro/internal/sched"
+)
+
+// The arrival trace is the service's flight recorder: one JSON line per
+// boundary event, written in the deterministic order the engine applied
+// them. It records INPUTS only — arrivals and cancellations with their
+// virtual times — never decisions or outputs, because every decision
+// (admit, shed, quota-reject) is a pure function of the virtual state at
+// the event's time. Feeding the trace back through Replay therefore
+// reproduces the live run event for event: same admissions, same gangs,
+// same outputs, byte for byte. See DESIGN.md, "Online serving".
+
+// TraceVersion is the current trace format version.
+const TraceVersion = 1
+
+// Header opens a trace: everything admission depends on besides the
+// events themselves, so a trace is self-contained.
+type Header struct {
+	Version     int            `json:"version"`
+	Policy      string         `json:"policy"`
+	Share       int            `json:"share,omitempty"`
+	NoBackfill  bool           `json:"noBackfill,omitempty"`
+	GPUs        int            `json:"gpus"`
+	GPUsPerNode int            `json:"gpusPerNode"`
+	MaxQueue    int            `json:"maxQueue"`
+	Quota       int            `json:"quota,omitempty"`
+	Quotas      map[string]int `json:"quotas,omitempty"`
+	PhysBudget  int            `json:"physBudget"`
+}
+
+// Arrival is one submission crossing the service boundary, stamped with
+// the virtual time the service admitted it for consideration.
+type Arrival struct {
+	Seq     int      `json:"seq"`
+	At      des.Time `json:"at"` // virtual arrival time, ns
+	Tenant  string   `json:"tenant"`
+	Kind    string   `json:"kind"`
+	Params  Params   `json:"params,omitempty"`
+	Weight  int      `json:"weight,omitempty"`
+	MinGang int      `json:"minGang,omitempty"`
+}
+
+// Cancel is one cancellation request, aimed at a previously recorded
+// submission's Seq.
+type Cancel struct {
+	Seq int      `json:"seq"`
+	At  des.Time `json:"at"`
+}
+
+// Event is one recorded boundary event; exactly one field is set.
+type Event struct {
+	Arrive *Arrival `json:"arrive,omitempty"`
+	Cancel *Cancel  `json:"cancel,omitempty"`
+}
+
+// at returns the event's virtual time.
+func (e Event) at() des.Time {
+	if e.Arrive != nil {
+		return e.Arrive.At
+	}
+	return e.Cancel.At
+}
+
+// Trace is a fully read arrival trace.
+type Trace struct {
+	Header Header
+	Events []Event
+}
+
+// policy reconstructs the recorded admission policy.
+func (h Header) policy() (sched.Policy, error) {
+	k, err := sched.ParsePolicyKind(h.Policy)
+	if err != nil {
+		return sched.Policy{}, fmt.Errorf("serve: trace has unknown policy %q", h.Policy)
+	}
+	return sched.Policy{Kind: k, Share: h.Share, NoBackfill: h.NoBackfill}, nil
+}
+
+// TraceWriter streams a live run's boundary events. Write ordering is the
+// engine's application ordering; the writer is engine-confined (never
+// called concurrently).
+type TraceWriter struct {
+	w   *bufio.Writer
+	enc *json.Encoder
+	err error
+}
+
+// NewTraceWriter starts a trace with its header line.
+func NewTraceWriter(w io.Writer, h Header) *TraceWriter {
+	bw := bufio.NewWriter(w)
+	tw := &TraceWriter{w: bw, enc: json.NewEncoder(bw)}
+	tw.write(h)
+	return tw
+}
+
+func (t *TraceWriter) write(v any) {
+	if t.err == nil {
+		t.err = t.enc.Encode(v)
+	}
+}
+
+// Arrive records one submission.
+func (t *TraceWriter) Arrive(a Arrival) { t.write(Event{Arrive: &a}) }
+
+// Cancel records one cancellation.
+func (t *TraceWriter) Cancel(c Cancel) { t.write(Event{Cancel: &c}) }
+
+// Flush drains the buffer and returns the first error seen.
+func (t *TraceWriter) Flush() error {
+	if t.err != nil {
+		return t.err
+	}
+	return t.w.Flush()
+}
+
+// ReadTrace parses a recorded trace, validating version, event ordering
+// (times must be non-decreasing — the engine applied them that way), and
+// sequence numbering.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	dec := json.NewDecoder(r)
+	var tr Trace
+	if err := dec.Decode(&tr.Header); err != nil {
+		return nil, fmt.Errorf("serve: reading trace header: %w", err)
+	}
+	if tr.Header.Version != TraceVersion {
+		return nil, fmt.Errorf("serve: trace version %d, want %d", tr.Header.Version, TraceVersion)
+	}
+	var last des.Time
+	nextSeq := 0
+	for {
+		var ev Event
+		if err := dec.Decode(&ev); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return nil, fmt.Errorf("serve: reading trace event %d: %w", len(tr.Events), err)
+		}
+		switch {
+		case ev.Arrive != nil && ev.Cancel != nil:
+			return nil, fmt.Errorf("serve: trace event %d is both arrival and cancel", len(tr.Events))
+		case ev.Arrive == nil && ev.Cancel == nil:
+			return nil, fmt.Errorf("serve: trace event %d is empty", len(tr.Events))
+		case ev.Arrive != nil:
+			if ev.Arrive.Seq != nextSeq {
+				return nil, fmt.Errorf("serve: trace arrival out of sequence: seq %d, want %d", ev.Arrive.Seq, nextSeq)
+			}
+			nextSeq++
+		case ev.Cancel != nil:
+			if ev.Cancel.Seq < 0 || ev.Cancel.Seq >= nextSeq {
+				return nil, fmt.Errorf("serve: trace cancel aims at unknown seq %d", ev.Cancel.Seq)
+			}
+		}
+		if at := ev.at(); at < last {
+			return nil, fmt.Errorf("serve: trace time went backwards: %v after %v", at, last)
+		} else {
+			last = at
+		}
+		tr.Events = append(tr.Events, ev)
+	}
+	return &tr, nil
+}
