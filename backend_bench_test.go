@@ -82,6 +82,16 @@ func TestBackendWallClockGuard(t *testing.T) {
 		GOMAXPROCS int               `json:"gomaxprocs"`
 		Rows       []backendBenchRow `json:"rows"`
 	}
+	// Pin GOMAXPROCS to the full machine for the measurement: the guard
+	// compares parallel dispatch against serial, so inheriting a capped
+	// setting (containerized CI once handed this test GOMAXPROCS=1, and the
+	// artifact recorded a meaningless 1.0x sweep) would measure nothing.
+	// Restored afterwards; the recorded value is what the rows actually ran
+	// under.
+	if n := runtime.NumCPU(); n >= 2 && runtime.GOMAXPROCS(0) != n {
+		prev := runtime.GOMAXPROCS(n)
+		defer runtime.GOMAXPROCS(prev)
+	}
 	art := artifact{App: "wo", VirtBytes: 64 << 20, GOMAXPROCS: runtime.GOMAXPROCS(0)}
 	const reps = 3
 	for _, gpus := range []int{1, 4, 8} {

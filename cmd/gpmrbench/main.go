@@ -24,6 +24,12 @@
 // one worker per host core. Results and traces are byte-identical across
 // backends — the pool only cuts the harness's wall-clock by running
 // map/sort/reduce work from different simulated GPUs concurrently.
+//
+// -shards selects the DES engine sharding: 0 (default) runs the legacy
+// single event loop, N >= 1 runs the simulation as N coordinated engine
+// shards under conservative lookahead, and -1 uses one shard per simulated
+// node plus a scheduler hub. All shard counts >= 1 produce byte-identical
+// traces; `-exp engine` sweeps the knob and writes BENCH_engine.json.
 package main
 
 import (
@@ -49,9 +55,10 @@ func main() {
 	phys := flag.Int("phys", 1<<16, "physical element budget per run")
 	seed := flag.Uint64("seed", 1, "workload seed")
 	workers := flag.Int("workers", 0, "kernel-execution workers: 0 = serial, N = pool(N), -1 = pool(all cores)")
+	shards := flag.Int("shards", 0, "DES engine shards: 0 = legacy single engine, N = N shards, -1 = one per node")
 	flag.Parse()
 
-	o := bench.Options{PhysBudget: *phys, Seed: *seed, Workers: *workers}
+	o := bench.Options{PhysBudget: *phys, Seed: *seed, Workers: *workers, Shards: *shards}
 	out := os.Stdout
 
 	benches := bench.Benchmarks
@@ -149,6 +156,14 @@ func main() {
 			}
 			bench.RenderMultijob(out, rows, traces)
 			return nil
+		}},
+		{"engine", "sharded-engine wall-clock sweep (writes BENCH_engine.json)", func() error {
+			rows, err := bench.Engine(o)
+			if err != nil {
+				return err
+			}
+			bench.RenderEngine(out, rows)
+			return bench.WriteEngineJSON("BENCH_engine.json", rows)
 		}},
 		{"online", "open-system offered-load sweep: latency vs reject rate", func() error {
 			rows, err := bench.Online(o)

@@ -50,24 +50,25 @@ func main() {
 	quota := flag.Int("quota", 0, "per-tenant in-flight cap (0 = unlimited)")
 	scale := flag.Float64("timescale", 1, "virtual seconds per wall second at the boundary")
 	workers := flag.Int("workers", 0, "kernel-execution workers (see gpmrbench -workers)")
+	shards := flag.Int("shards", 0, "DES engine shards (see gpmrbench -shards)")
 	phys := flag.Int("phys", 1<<16, "physical element budget per job")
 	tracePath := flag.String("trace", "", "record the arrival trace to this file (JSONL)")
 	replayPath := flag.String("replay", "", "replay a recorded trace offline and print the report")
 	flag.Parse()
 
 	if *replayPath != "" {
-		if err := replay(*replayPath, *workers); err != nil {
+		if err := replay(*replayPath, *workers, *shards); err != nil {
 			log.Fatalf("gpmrd: %v", err)
 		}
 		return
 	}
-	if err := live(*addr, *gpus, *perNode, *policy, *share, *queue, *quota, *scale, *workers, *phys, *tracePath); err != nil {
+	if err := live(*addr, *gpus, *perNode, *policy, *share, *queue, *quota, *scale, *workers, *shards, *phys, *tracePath); err != nil {
 		log.Fatalf("gpmrd: %v", err)
 	}
 }
 
 // replay runs the offline path: same admission code, no wall clock.
-func replay(path string, workers int) error {
+func replay(path string, workers, shards int) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -77,7 +78,7 @@ func replay(path string, workers int) error {
 	if err != nil {
 		return err
 	}
-	rep, err := serve.Replay(tr, serve.ReplayOptions{Workers: workers})
+	rep, err := serve.Replay(tr, serve.ReplayOptions{Workers: workers, Shards: shards})
 	if err != nil {
 		return err
 	}
@@ -94,7 +95,7 @@ func parsePolicy(name string, share int) (sched.Policy, error) {
 	return sched.Policy{Kind: k, Share: share}, nil
 }
 
-func live(addr string, gpus, perNode int, policy string, share, queue, quota int, scale float64, workers, phys int, tracePath string) error {
+func live(addr string, gpus, perNode int, policy string, share, queue, quota int, scale float64, workers, shards, phys int, tracePath string) error {
 	pol, err := parsePolicy(policy, share)
 	if err != nil {
 		return err
@@ -104,6 +105,7 @@ func live(addr string, gpus, perNode int, policy string, share, queue, quota int
 		cc.GPUsPerNode = perNode
 	}
 	cc.Workers = workers
+	cc.Shards = shards
 
 	var traceF *os.File
 	cfg := serve.Config{

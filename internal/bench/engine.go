@@ -1,0 +1,160 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/sched"
+)
+
+// The engine-sharding experiment: where the backend sweep (BENCH_backend)
+// parallelizes kernel closures under one event loop, this sweeps the event
+// loop itself — the multijob stream re-run at 1, 2, 4, and per-node engine
+// shards, against both kernel backends — and reports host wall-clock per
+// cell. Every cell is also a determinism check: the sweep fails unless all
+// shard counts produce byte-identical cluster traces.
+
+// engineShardCounts is the swept Shards knob (per ISSUE: 1, 2, 4,
+// per-node). -1 decodes to one engine per node plus the hub.
+var engineShardCounts = []int{1, 2, 4, -1}
+
+// engineWorkers are the kernel backends crossed with the shard counts:
+// serial (closures inline on the shard's goroutine) and pool(all cores).
+var engineWorkers = []int{0, -1}
+
+// engineReps is how many times each cell runs; the fastest run is kept
+// (wall-clock minima are far more stable than means under CI noise).
+const engineReps = 3
+
+// EngineRow is one (shards, workers) cell of the sweep.
+type EngineRow struct {
+	Shards  int     `json:"shards"`  // the knob as passed
+	Engines int     `json:"engines"` // decoded engine count
+	Workers int     `json:"workers"`
+	Ns      int64   `json:"ns"`
+	Speedup float64 `json:"speedup"` // vs the shards=1 serial baseline
+}
+
+// engineCell times one configuration over the concurrent multijob policies
+// (FixedShare and WeightedFair; FIFOExclusive serializes tenants, so a
+// sharded engine has nothing to overlap) and returns the fastest of
+// engineReps host times plus the run's rendered traces for the
+// cross-shard-count identity check.
+func engineCell(o Options, shards, workers int) (int64, []string, error) {
+	cc := cluster.DefaultConfig(MultijobGPUs)
+	cc.Workers = workers
+	cc.Shards = shards
+	pols := []sched.Policy{
+		{Kind: sched.FixedShare, Share: 4},
+		{Kind: sched.WeightedFair},
+	}
+	best := int64(1<<63 - 1)
+	var traces []string
+	for rep := 0; rep < engineReps; rep++ {
+		cur := make([]string, 0, len(pols))
+		start := time.Now()
+		for _, pol := range pols {
+			ct, err := sched.Run(cc, pol, multijobStream(o))
+			if err != nil {
+				return 0, nil, fmt.Errorf("engine: shards=%d workers=%d %s: %w", shards, workers, pol.Kind, err)
+			}
+			cur = append(cur, ct.String())
+		}
+		if d := time.Since(start).Nanoseconds(); d < best {
+			best = d
+		}
+		if traces == nil {
+			traces = cur
+		} else {
+			for i := range cur {
+				if cur[i] != traces[i] {
+					return 0, nil, fmt.Errorf("engine: shards=%d workers=%d: rep %d diverged from rep 0", shards, workers, rep)
+				}
+			}
+		}
+	}
+	return best, traces, nil
+}
+
+// Engine sweeps shard count x kernel backend over the multijob stream.
+// Every cell's cluster traces must be byte-identical to the shards=1
+// serial cell's — the sweep doubles as the engine's end-to-end determinism
+// proof — and each row's speedup is measured against that same baseline.
+func Engine(o Options) ([]EngineRow, error) {
+	o = o.withDefaults()
+	var rows []EngineRow
+	var baseNs int64
+	var baseTraces []string
+	for _, workers := range engineWorkers {
+		for _, shards := range engineShardCounts {
+			ns, traces, err := engineCell(o, shards, workers)
+			if err != nil {
+				return nil, err
+			}
+			if baseTraces == nil {
+				baseNs, baseTraces = ns, traces
+			} else {
+				for i := range traces {
+					if traces[i] != baseTraces[i] {
+						return nil, fmt.Errorf(
+							"engine: shards=%d workers=%d produced a different cluster trace than shards=1 workers=0 (determinism violation)",
+							shards, workers)
+					}
+				}
+			}
+			engines := shards
+			if shards < 0 {
+				cc := cluster.DefaultConfig(MultijobGPUs)
+				cc.Shards = shards
+				engines = cc.ShardCount()
+			}
+			rows = append(rows, EngineRow{
+				Shards:  shards,
+				Engines: engines,
+				Workers: workers,
+				Ns:      ns,
+				Speedup: float64(baseNs) / float64(ns),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// RenderEngine writes the sweep as a table.
+func RenderEngine(w io.Writer, rows []EngineRow) {
+	fmt.Fprintf(w, "Sharded-engine wall clock — multijob stream (%d jobs, %d GPUs), GOMAXPROCS %d\n",
+		MultijobJobs, MultijobGPUs, runtime.GOMAXPROCS(0))
+	fmt.Fprintf(w, "traces byte-identical across all cells (verified in-run)\n")
+	fmt.Fprintf(w, "%8s %8s %8s %12s %8s\n", "shards", "engines", "workers", "host ms", "speedup")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%8d %8d %8d %12.1f %7.2fx\n",
+			r.Shards, r.Engines, r.Workers, float64(r.Ns)/1e6, r.Speedup)
+	}
+}
+
+// WriteEngineJSON emits the BENCH_engine.json artifact.
+func WriteEngineJSON(path string, rows []EngineRow) error {
+	art := struct {
+		Experiment string      `json:"experiment"`
+		Jobs       int         `json:"jobs"`
+		GPUs       int         `json:"gpus"`
+		GOMAXPROCS int         `json:"gomaxprocs"`
+		Rows       []EngineRow `json:"rows"`
+	}{
+		Experiment: "multijob stream, FixedShare(4) + WeightedFair",
+		Jobs:       MultijobJobs,
+		GPUs:       MultijobGPUs,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Rows:       rows,
+	}
+	data, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

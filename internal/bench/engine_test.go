@@ -1,0 +1,166 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/apps/sio"
+	"repro/internal/fault"
+	"repro/internal/serve"
+)
+
+// shardPoints are the engine configurations the differential matrix pits
+// against each other: 0 (the legacy single event loop — the reference
+// semantics), 1 (a one-shard ShardSet — isolates the coordinator round
+// protocol with no cross-shard traffic), 2 (real cross-shard posts), and
+// -1 (one shard per node plus the hub, the widest decomposition).
+func shardPoints() []int { return []int{0, 1, 2, -1} }
+
+func shardPointName(shards int) string {
+	switch {
+	case shards == 0:
+		return "legacy"
+	case shards < 0:
+		return "per-node"
+	default:
+		return fmt.Sprintf("shards(%d)", shards)
+	}
+}
+
+// TestShardDifferentialMatrix is the engine-layer counterpart of
+// TestBackendDifferentialMatrix: every app at 1, 4, and 8 GPUs must
+// produce byte-identical results and identical golden traces whether the
+// simulation runs on the legacy single engine or as a sharded set.
+// Exclusive jobs always collapse to one shard, so this pins the ShardSet
+// round protocol (coordinator loop, injection drain, future checks)
+// against the plain Engine.Run loop.
+func TestShardDifferentialMatrix(t *testing.T) {
+	for _, app := range diffApps {
+		t.Run(app.name, func(t *testing.T) {
+			for _, gpus := range []int{1, 4, 8} {
+				var want backendRun
+				for _, shards := range shardPoints() {
+					got := app.run(t, gpus, 0, shards)
+					if len(got.result) == 0 {
+						t.Fatalf("%d GPUs, %s: empty result", gpus, shardPointName(shards))
+					}
+					if shards == 0 {
+						want = got
+						continue
+					}
+					if !bytes.Equal(got.result, want.result) {
+						t.Errorf("%d GPUs: %s result bytes diverge from legacy engine", gpus, shardPointName(shards))
+					}
+					if got.trace != want.trace {
+						t.Errorf("%d GPUs: %s golden trace diverges from legacy engine:\n--- legacy\n%s\n--- %s\n%s",
+							gpus, shardPointName(shards), want.trace, shardPointName(shards), got.trace)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestShardDifferentialFaults reruns the fault-injection scenario (a
+// fail-stop mid-map plus a derated straggler with speculation) across
+// shard counts: recovery requeues, relays, and twin races must be
+// schedule-identical under the sharded coordinator.
+func TestShardDifferentialFaults(t *testing.T) {
+	run := func(shards int) backendRun {
+		job, _ := sio.NewJob(sio.Params{Elements: 8 << 20, GPUs: 8, Seed: 2, PhysMax: 1 << 13, ChunkCap: 1 << 20})
+		job.Config.GatherOutput = true
+		job.Config.Shards = shards
+		job.Config.Speculate = true
+		job.Config.Faults = &fault.Plan{Events: []fault.Event{
+			fault.FailAfterChunks(2, 2),
+			fault.SlowdownAfterChunks(5, 1, 8),
+		}}
+		res := job.MustRun()
+		return backendRun{result: canonBytes(t, res.PerRank), trace: res.Trace.String()}
+	}
+	want := run(0)
+	for _, shards := range shardPoints()[1:] {
+		got := run(shards)
+		if !bytes.Equal(got.result, want.result) {
+			t.Errorf("%s fault-run result bytes diverge from legacy engine", shardPointName(shards))
+		}
+		if got.trace != want.trace {
+			t.Errorf("%s fault-run golden trace diverges from legacy engine:\n--- legacy\n%s\n--- got\n%s",
+				shardPointName(shards), want.trace, got.trace)
+		}
+	}
+}
+
+// TestShardDifferentialMultijob is where sharding actually changes the
+// execution shape: concurrent tenants run on different engine goroutines,
+// launches and completions cross shard boundaries as ordered posts, and
+// gangs lease whole nodes. Unlike exclusive runs, the sharded scheduler's
+// schedule legitimately differs from the legacy engine's (launch and
+// completion latencies become modeled posts, gangs lease whole nodes), so
+// the invariant here is SHARD-COUNT invariance: every shard count >= 1,
+// crossed with both kernel backends, must reproduce the one-shard serial
+// traces byte-for-byte. Pooled kernels under per-node shards is the
+// maximally concurrent configuration the engine supports.
+func TestShardDifferentialMultijob(t *testing.T) {
+	run := func(workers, shards int) string {
+		_, traces, err := Multijob(Options{PhysBudget: 4096, Seed: 1, Workers: workers, Shards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var all bytes.Buffer
+		for _, ct := range traces {
+			all.WriteString(ct.String())
+			all.WriteByte('\n')
+		}
+		return all.String()
+	}
+	want := run(0, 1)
+	for _, workers := range []int{0, -1} {
+		for _, shards := range shardPoints()[1:] {
+			if workers == 0 && shards == 1 {
+				continue
+			}
+			if got := run(workers, shards); got != want {
+				t.Errorf("workers=%d %s multijob cluster traces diverge from one-shard serial:\n--- shards(1)\n%s\n--- got\n%s",
+					workers, shardPointName(shards), want, got)
+			}
+		}
+	}
+}
+
+// TestShardDifferentialReplay closes the matrix at the serving layer: the
+// same recorded arrival trace replayed through serve at every shard count
+// must produce an identical full report (cluster trace, admission
+// counters, per-tenant stats, job table). This covers the injector-fed
+// session path rather than sched.Run's pre-batched one. As with
+// multijob, the baseline is the one-shard set, not the legacy engine:
+// the sharded scheduler's modeled launch/done latencies shift the
+// schedule, but never differently for different shard counts.
+func TestShardDifferentialReplay(t *testing.T) {
+	o := Options{PhysBudget: 4096, Seed: 1}.withDefaults()
+	evs := onlineStream(o, 8)
+	h := serve.Header{
+		Version:     serve.TraceVersion,
+		Policy:      "weighted-fair",
+		GPUs:        OnlineGPUs,
+		GPUsPerNode: 4,
+		MaxQueue:    OnlineMaxQueue,
+		Quota:       OnlineQuota,
+		PhysBudget:  o.PhysBudget,
+	}
+	run := func(shards int) string {
+		rep, err := serve.Replay(&serve.Trace{Header: h, Events: evs}, serve.ReplayOptions{Shards: shards})
+		if err != nil {
+			t.Fatalf("%s replay: %v", shardPointName(shards), err)
+		}
+		return rep.String()
+	}
+	want := run(1)
+	for _, shards := range []int{2, -1} {
+		if got := run(shards); got != want {
+			t.Errorf("%s replay report diverges from the one-shard set:\n--- shards(1)\n%s\n--- got\n%s",
+				shardPointName(shards), want, got)
+		}
+	}
+}

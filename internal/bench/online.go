@@ -104,7 +104,7 @@ func Online(o Options) ([]OnlineRow, error) {
 				Quota:       OnlineQuota,
 				PhysBudget:  o.PhysBudget,
 			}
-			rep, err := serve.Replay(&serve.Trace{Header: h, Events: evs}, serve.ReplayOptions{Workers: o.Workers})
+			rep, err := serve.Replay(&serve.Trace{Header: h, Events: evs}, serve.ReplayOptions{Workers: o.Workers, Shards: o.Shards})
 			if err != nil {
 				return nil, fmt.Errorf("online: gap %.0fms policy %s: %w", gap, pol.Kind, err)
 			}

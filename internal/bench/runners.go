@@ -39,6 +39,10 @@ type Options struct {
 	// negative = pool(GOMAXPROCS). Results are byte-identical across
 	// backends; only harness wall-clock changes.
 	Workers int
+	// Shards selects the DES engine sharding for every experiment's runs
+	// (see cluster.Config.Shards): 0 = legacy single engine, n >= 1 = a
+	// ShardSet of n engines, negative = one per node plus the hub.
+	Shards int
 }
 
 func (o Options) withDefaults() Options {
@@ -69,6 +73,7 @@ func Run(benchName string, size int64, gpus int, o Options) (des.Time, *core.Tra
 			return 0, nil, err
 		}
 		b.Job1.Config.Workers = o.Workers
+		b.Job1.Config.Shards = o.Shards
 		_, tr1, tr2, err := b.Run()
 		if err != nil {
 			return 0, nil, err
@@ -85,6 +90,7 @@ func Run(benchName string, size int64, gpus int, o Options) (des.Time, *core.Tra
 	case "sio":
 		job, _ := sio.NewJob(sio.Params{Elements: size, GPUs: gpus, Seed: o.Seed, PhysMax: o.PhysBudget})
 		job.Config.Workers = o.Workers
+		job.Config.Shards = o.Shards
 		res, err := job.Run()
 		if err != nil {
 			return 0, nil, err
@@ -93,6 +99,7 @@ func Run(benchName string, size int64, gpus int, o Options) (des.Time, *core.Tra
 	case "wo":
 		b := wo.NewJob(wo.Params{Bytes: size, GPUs: gpus, Seed: o.Seed, PhysMax: o.PhysBudget, DictSize: woDict(o)})
 		b.Job.Config.Workers = o.Workers
+		b.Job.Config.Shards = o.Shards
 		res, err := b.Job.Run()
 		if err != nil {
 			return 0, nil, err
@@ -101,6 +108,7 @@ func Run(benchName string, size int64, gpus int, o Options) (des.Time, *core.Tra
 	case "kmc":
 		b := kmc.NewJob(kmc.Params{Points: size, GPUs: gpus, Seed: o.Seed, PhysMax: o.PhysBudget})
 		b.Job.Config.Workers = o.Workers
+		b.Job.Config.Shards = o.Shards
 		res, err := b.Job.Run()
 		if err != nil {
 			return 0, nil, err
@@ -109,6 +117,7 @@ func Run(benchName string, size int64, gpus int, o Options) (des.Time, *core.Tra
 	case "lr":
 		b := lr.NewJob(lr.Params{Points: size, GPUs: gpus, Seed: o.Seed, PhysMax: o.PhysBudget})
 		b.Job.Config.Workers = o.Workers
+		b.Job.Config.Shards = o.Shards
 		res, err := b.Job.Run()
 		if err != nil {
 			return 0, nil, err

@@ -71,6 +71,48 @@ type Config struct {
 	// wall-clock changes. Callers that set Workers != 0 must Close the
 	// cluster after the engine finishes.
 	Workers int
+
+	// Shards selects how many DES engine shards drive the simulation:
+	// 0 keeps the legacy single-engine path, n >= 1 runs a ShardSet of n
+	// engines (engine 0 is the scheduler hub; job gangs are homed on
+	// engines 1..n-1 when n >= 2), and negative means one engine per
+	// cluster node plus the hub. All shard counts >= 1 produce
+	// byte-identical traces and results; only host wall-clock changes.
+	Shards int
+
+	// LaunchOverhead is the simulated delay between the scheduler
+	// deciding to start a job and its gang processes beginning on their
+	// nodes — MPI wireup plus CUDA context dispatch. It doubles as the
+	// hub->shard lookahead that lets shards run concurrently. Zero means
+	// DefaultLaunchOverhead. Only sharded runs (Shards != 0) charge it.
+	LaunchOverhead des.Time
+}
+
+// DefaultLaunchOverhead is the job-launch dispatch cost charged by sharded
+// runs: roughly mpirun wireup + CUDA context creation on the paper's
+// cluster.
+const DefaultLaunchOverhead = 2 * des.Millisecond
+
+// ShardCount decodes the Shards knob against the cluster shape: the number
+// of engines a ShardSet should hold, or 0 for the legacy single-engine
+// path. Negative Shards means one engine per node plus the hub.
+func (c Config) ShardCount() int {
+	if c.Shards == 0 {
+		return 0
+	}
+	if c.Shards < 0 {
+		nNodes := (c.GPUs + c.GPUsPerNode - 1) / c.GPUsPerNode
+		return nNodes + 1
+	}
+	return c.Shards
+}
+
+// Launch returns the effective launch overhead.
+func (c Config) Launch() des.Time {
+	if c.LaunchOverhead == 0 {
+		return DefaultLaunchOverhead
+	}
+	return c.LaunchOverhead
 }
 
 // Validate checks the cluster shape without building it, so services can

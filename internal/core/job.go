@@ -79,14 +79,30 @@ func (j *Job[V]) Run() (*Result[V], error) {
 	if err != nil {
 		return nil, err
 	}
-	eng := des.NewEngine()
+	var eng *des.Engine
+	var ss *des.ShardSet
+	if n := cfg.Cluster.ShardCount(); n > 0 {
+		// An exclusive job is one gang — one shard's worth of work — so
+		// any sharded run collapses to a single engine with no cross-shard
+		// edges. Going through ShardSet.Run anyway exercises the sharded
+		// dispatch path (post-aware stepping, coordinator shutdown checks)
+		// and is byte-identical to the legacy loop.
+		ss = des.NewShardSet(1)
+		eng = ss.Engine(0)
+	} else {
+		eng = des.NewEngine()
+	}
 	cl := cluster.New(eng, *cfg.Cluster)
 	defer cl.Close()
 	var res *Result[V]
 	if err := j.launchOn(eng, cl, identityRanks(cfg.GPUs), func(r *Result[V]) { res = r }); err != nil {
 		return nil, err
 	}
-	eng.Run()
+	if ss != nil {
+		ss.Run()
+	} else {
+		eng.Run()
+	}
 	return res, nil
 }
 

@@ -67,11 +67,11 @@ func TestStealLocalFirstPrefersSameNode(t *testing.T) {
 	if v := stealOnce(eng, s, 0); v != 1 {
 		t.Errorf("local-first stole from rank %d, want same-node rank 1", v)
 	}
-	if fab.BytesSent != 0 {
-		t.Errorf("same-node steal crossed the fabric: BytesSent=%d", fab.BytesSent)
+	if fab.BytesSent() != 0 {
+		t.Errorf("same-node steal crossed the fabric: BytesSent=%d", fab.BytesSent())
 	}
-	if fab.LocalBytes != 1<<20 {
-		t.Errorf("same-node steal charged %d local bytes, want %d", fab.LocalBytes, 1<<20)
+	if fab.LocalBytes() != 1<<20 {
+		t.Errorf("same-node steal charged %d local bytes, want %d", fab.LocalBytes(), 1<<20)
 	}
 }
 
@@ -81,8 +81,8 @@ func TestStealLocalFirstCrossesWhenNodeDry(t *testing.T) {
 	if v := stealOnce(eng, s, 0); v != 3 {
 		t.Errorf("stole from rank %d, want remote rank 3", v)
 	}
-	if fab.BytesSent != 1<<20 {
-		t.Errorf("cross-node steal charged %d wire bytes, want %d", fab.BytesSent, 1<<20)
+	if fab.BytesSent() != 1<<20 {
+		t.Errorf("cross-node steal charged %d wire bytes, want %d", fab.BytesSent(), 1<<20)
 	}
 }
 

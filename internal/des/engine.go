@@ -31,6 +31,13 @@ func (h *eventHeap) pushEvent(e event) { heap.Push(h, e) }
 // Engine is a single-threaded discrete-event simulator. It is not safe for
 // concurrent use; all interaction happens from simulated processes while the
 // engine is running, or from the owning goroutine before Run.
+//
+// An Engine can run standalone (Run) or as one shard of a ShardSet (see
+// shard.go), where a coordinator advances it window by window under
+// conservative-lookahead synchronization. Either way, every piece of engine
+// state is engine-confined: it is touched only by the goroutine currently
+// driving this engine (the owner before Run, then exactly one process or
+// the dispatch loop at a time).
 type Engine struct {
 	now     Time
 	seq     uint64
@@ -40,6 +47,13 @@ type Engine struct {
 	live    int // spawned but not finished
 	blocked int // parked with no pending wake event
 	running bool
+	// Sharded-mode state (see shard.go): cross-shard messages buffered for
+	// delivery, ordered by (at, srcKey, seq) so the merged dispatch order
+	// is identical at every shard count, and the set this engine belongs
+	// to (nil for a standalone engine).
+	posts postHeap
+	set   *ShardSet
+	shard int // index within set
 	// openFutures tracks join obligations for host work dispatched outside
 	// the simulation (see future.go). Mutated only from the engine's
 	// serialized goroutines; Run refuses to shut down while any remain.
@@ -98,6 +112,14 @@ func (p *Proc) Now() Time { return p.eng.now }
 // Spawn registers a new process whose body starts at the current simulated
 // time. It may be called before Run or from a running process.
 func (e *Engine) Spawn(name string, body func(p *Proc)) *Proc {
+	return e.spawnAt(e.now, name, body)
+}
+
+// spawnAt registers a new process whose body starts at time at (>= now).
+// It is how buffered cross-shard posts materialize: the post's delivery
+// time is in this engine's future, and the spawned process's first event
+// must carry that time, not the current frontier.
+func (e *Engine) spawnAt(at Time, name string, body func(p *Proc)) *Proc {
 	p := &Proc{eng: e, name: name, resume: make(chan struct{})}
 	e.procs = append(e.procs, p)
 	e.live++
@@ -115,7 +137,7 @@ func (e *Engine) Spawn(name string, body func(p *Proc)) *Proc {
 		p.ended = true
 		e.yield <- yieldMsg{proc: p, done: true, pnc: pnc}
 	}()
-	e.schedule(e.now, p)
+	e.schedule(at, p)
 	return p
 }
 
@@ -134,8 +156,11 @@ func (e *Engine) schedule(at Time, p *Proc) {
 func (p *Proc) Park() { p.park() }
 
 // Wake resumes a process suspended with Park (or any parked waiter) at the
-// current simulated time.
-func (e *Engine) Wake(p *Proc) { e.wake(p) }
+// current simulated time. The wake is delivered on the process's own
+// engine: synchronization primitives migrate between shards (see
+// Resource), so the engine that created a primitive is not necessarily
+// the one whose clock governs its waiters.
+func (e *Engine) Wake(p *Proc) { p.eng.wake(p) }
 
 // wake reschedules a parked process to run at the current time. It is used
 // by resources and queues when a waiter becomes runnable.
@@ -198,7 +223,7 @@ func (e *Engine) Run() Time {
 		// process lands at the frontier without interleaving with a
 		// running one.
 		e.drainInjections()
-		if e.queue.Len() == 0 {
+		if _, ok := e.nextTime(); !ok {
 			if e.openInj > 0 {
 				e.applyInjection(<-e.injc) // park: wait for the outside world
 				continue
@@ -209,29 +234,96 @@ func (e *Engine) Run() Time {
 			}
 			break
 		}
-		ev := e.queue.popEvent()
-		if ev.proc.ended {
-			continue // stale event for a finished process
-		}
-		e.now = ev.at
-		ev.proc.resume <- struct{}{}
-		msg := <-e.yield
-		if msg.pnc != nil {
-			panic(fmt.Sprintf("des: process %q panicked at t=%v: %v", msg.proc.name, e.now, msg.pnc))
-		}
-		if msg.done {
-			e.live--
-		}
+		e.step()
 	}
-	if len(e.openFutures) > 0 {
-		names := make([]string, 0, len(e.openFutures))
-		for f := range e.openFutures {
-			names = append(names, f.name)
-		}
-		sort.Strings(names)
-		panic(fmt.Sprintf("des: engine shut down with %d unjoined future(s): %v", len(names), names))
-	}
+	e.checkFutures()
 	return e.now
+}
+
+// checkFutures panics if host work dispatched through this engine was never
+// joined — effects the simulation never ordered.
+func (e *Engine) checkFutures() {
+	if len(e.openFutures) == 0 {
+		return
+	}
+	names := make([]string, 0, len(e.openFutures))
+	for f := range e.openFutures {
+		names = append(names, f.name)
+	}
+	sort.Strings(names)
+	panic(fmt.Sprintf("des: engine shut down with %d unjoined future(s): %v", len(names), names))
+}
+
+// pruneQueue discards queued wake-ups for processes that already finished,
+// so peeking at the head sees real work.
+func (e *Engine) pruneQueue() {
+	for e.queue.Len() > 0 && e.queue[0].proc.ended {
+		e.queue.popEvent()
+	}
+}
+
+// nextTime reports the earliest pending activity — a queued event or a
+// buffered cross-shard post — or ok=false when the engine has nothing
+// scheduled. In a ShardSet this is the shard's next-event time (NET), the
+// input to the coordinator's safe-horizon computation.
+func (e *Engine) nextTime() (Time, bool) {
+	e.pruneQueue()
+	var t Time
+	ok := false
+	if e.queue.Len() > 0 {
+		t, ok = e.queue[0].at, true
+	}
+	if len(e.posts) > 0 && (!ok || e.posts[0].at < t) {
+		t, ok = e.posts[0].at, true
+	}
+	return t, ok
+}
+
+// step dispatches the single earliest pending activity. Buffered posts win
+// time ties with local events: a post due at T is applied (its process
+// spawned, allocating the next sequence number) before anything at T runs.
+// Because the rule consults only this engine's own state, and posts carry a
+// shard-count-invariant (at, srcKey, seq) order, the merged dispatch order
+// is identical whether the logical sender shares this engine or lives on
+// another shard.
+func (e *Engine) step() {
+	e.pruneQueue()
+	if len(e.posts) > 0 && (e.queue.Len() == 0 || e.posts[0].at <= e.queue[0].at) {
+		po := e.posts.pop()
+		if po.at < e.now {
+			panic(fmt.Sprintf("des: post %q for t=%v applied behind the frontier t=%v (lookahead violation)",
+				po.name, po.at, e.now))
+		}
+		e.spawnAt(po.at, po.name, po.body)
+		return
+	}
+	ev := e.queue.popEvent()
+	e.now = ev.at
+	ev.proc.resume <- struct{}{}
+	msg := <-e.yield
+	if msg.pnc != nil {
+		panic(fmt.Sprintf("des: process %q panicked at t=%v: %v", msg.proc.name, e.now, msg.pnc))
+	}
+	if msg.done {
+		e.live--
+	}
+}
+
+// runWindow advances the shard through every pending activity strictly
+// before horizon, then returns. Unlike Run it never declares deadlock: a
+// shard whose processes are all blocked may be waiting on a cross-shard
+// post a later round delivers, so global liveness belongs to the ShardSet
+// coordinator. The strict bound is what keeps delivery deterministic — a
+// neighbour may still post an event at exactly horizon, and it must arrive
+// before anything local at that time runs.
+func (e *Engine) runWindow(horizon Time) {
+	for {
+		t, ok := e.nextTime()
+		if !ok || t >= horizon {
+			return
+		}
+		e.step()
+	}
 }
 
 func (e *Engine) blockedNames() []string {

@@ -60,6 +60,17 @@ func (r *Resource) Acquire(p *Proc, n int) {
 	if n > r.cap {
 		panic(fmt.Sprintf("des: Acquire(%d) exceeds capacity %d of %s", n, r.cap, r.name))
 	}
+	if r.held == 0 && len(r.waiters) == 0 && r.eng != p.eng {
+		// An idle facility adopts its next user's engine. Hardware modeled
+		// by a resource (a NIC, a PCIe link, a GPU engine) is leased to one
+		// shard's tenant at a time in sharded runs; re-homing on the idle
+		// boundary keeps Release's busy accounting and wake-ups in the time
+		// domain of the shard that actually holds it.
+		// Zero units were held since lastTs, so the busy integral carries
+		// over unchanged; only the timestamp moves into the new domain.
+		r.eng = p.eng
+		r.lastTs = p.Now()
+	}
 	if len(r.waiters) == 0 && r.held+n <= r.cap {
 		r.accountTo(p.Now())
 		r.held += n
@@ -88,7 +99,7 @@ func (r *Resource) Release(n int) {
 		r.waiters = r.waiters[1:]
 		r.held += w.n
 		*w.ok = true
-		r.eng.wake(w.proc)
+		w.proc.eng.wake(w.proc)
 	}
 }
 
@@ -129,7 +140,7 @@ func (q *Queue) Put(v any) {
 		w := q.waiters[0]
 		q.waiters = q.waiters[1:]
 		*w.slot = v
-		q.eng.wake(w.proc)
+		w.proc.eng.wake(w.proc)
 		return
 	}
 	q.items = append(q.items, v)
@@ -180,7 +191,7 @@ func (s *Signal) Fire() {
 	}
 	s.fired = true
 	for _, p := range s.waiters {
-		s.eng.wake(p)
+		p.eng.wake(p)
 	}
 	s.waiters = nil
 }
@@ -213,7 +224,7 @@ func (w *WaitGroup) Add(n int) {
 	}
 	if w.count == 0 {
 		for _, p := range w.waiters {
-			w.eng.wake(p)
+			p.eng.wake(p)
 		}
 		w.waiters = nil
 	}

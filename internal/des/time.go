@@ -1,16 +1,3 @@
-// Package des implements a deterministic discrete-event simulation engine.
-//
-// The engine advances a virtual clock and runs simulated processes
-// cooperatively: exactly one process executes at a time, and all ties in
-// wake-up time are broken by scheduling sequence number, so a simulation is
-// bit-reproducible across runs regardless of host scheduling.
-//
-// Processes are ordinary goroutines that hand control back to the engine
-// whenever they perform a blocking simulation primitive (Sleep, resource
-// Acquire, queue Get). The package provides FIFO resources with integer
-// capacity, unbounded message queues, one-shot signals, and counting
-// barriers — enough to model compute engines, buses, NICs, and MPI-style
-// message passing.
 package des
 
 import "fmt"

@@ -32,8 +32,8 @@ func TestCrossNodeSendDelivers(t *testing.T) {
 	if when < min {
 		t.Errorf("delivered at %v, faster than wire time %v", when, min)
 	}
-	if f.BytesSent != 32<<20 {
-		t.Errorf("BytesSent=%d", f.BytesSent)
+	if f.BytesSent() != 32<<20 {
+		t.Errorf("BytesSent=%d", f.BytesSent())
 	}
 }
 
@@ -53,8 +53,8 @@ func TestIntraNodeSendBypassesNIC(t *testing.T) {
 	if when != want {
 		t.Errorf("intra-node delivery at %v, want %v", when, want)
 	}
-	if f.BytesSent != 0 || f.LocalBytes != 32<<20 {
-		t.Errorf("BytesSent=%d LocalBytes=%d", f.BytesSent, f.LocalBytes)
+	if f.BytesSent() != 0 || f.LocalBytes() != 32<<20 {
+		t.Errorf("BytesSent=%d LocalBytes=%d", f.BytesSent(), f.LocalBytes())
 	}
 }
 

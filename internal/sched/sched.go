@@ -36,6 +36,7 @@ type jobRec struct {
 	admit     des.Time
 	finish    des.Time
 	gang      []int
+	leased    []int // gang plus surplus ranks held idle (sharded whole-node leases)
 	trace     *core.Trace
 	waiting   bool // in the queue
 	running   bool
@@ -61,6 +62,12 @@ type Scheduler struct {
 	recs    []*jobRec // all, submission order
 	nRun    int
 	launchE error // first LaunchOn failure, reported after a batch run
+
+	// Sharded dispatch (nil ss = legacy same-engine launches). See
+	// EnableSharding.
+	ss        *des.ShardSet
+	launchLat des.Time // hub -> gang shard: job launch overhead
+	doneLat   des.Time // gang shard -> hub: completion notification
 
 	// OnStart, if set, fires when a job is placed on its gang; OnDone
 	// fires after its gang is released — with the job's trace, or with a
@@ -88,6 +95,49 @@ func NewScheduler(eng *des.Engine, cl *cluster.Cluster, pol Policy) (*Scheduler,
 		s.free[r] = true
 	}
 	return s, nil
+}
+
+// hubKey is the stable post-ordering identity of the scheduler hub itself;
+// gangs use their lowest node ID, which is always >= 0.
+const hubKey = -1
+
+// EnableSharding switches the scheduler to sharded dispatch over ss, whose
+// hub engine (shard 0) must be the engine the scheduler was built on. Jobs
+// are then homed on engines 1..N-1 by their gang's lowest node ID (all on
+// the hub when N = 1), launched through a hub->home post carrying `launch`
+// (the job dispatch overhead — MPI wireup plus context creation — which
+// doubles as the outbound lookahead) and completed through a home->hub post
+// carrying `done` (one fabric latency). Sharded placement leases whole
+// nodes, so concurrent gangs never share a NIC, a PCIe link, or a host CPU:
+// surplus ranks on a gang's last node stay idle until the job finishes.
+// Must be called before any submission.
+func (s *Scheduler) EnableSharding(ss *des.ShardSet, launch, done des.Time) {
+	if ss.Engine(0) != s.eng {
+		panic("sched: EnableSharding needs the scheduler on the shard set's hub engine")
+	}
+	if len(s.recs) > 0 {
+		panic("sched: EnableSharding after submissions")
+	}
+	if launch <= 0 || done <= 0 {
+		panic("sched: sharded dispatch needs positive launch and done latencies")
+	}
+	s.ss = ss
+	s.launchLat, s.doneLat = launch, done
+	for k := 1; k < ss.Shards(); k++ {
+		ss.DeclareEdge(0, k, launch)
+		ss.DeclareEdge(k, 0, done)
+	}
+}
+
+// homeOf picks the engine a gang runs on: a stable function of the gang's
+// lowest node ID, so the assignment — and with it every post stamp — does
+// not depend on admission interleaving.
+func (s *Scheduler) homeOf(gang []int) int {
+	n := s.ss.Shards()
+	if n == 1 {
+		return 0
+	}
+	return 1 + s.cl.NodeOfRank(gang[0]).ID%(n-1)
 }
 
 // validateSpec checks one submission with named errors.
@@ -266,12 +316,22 @@ func Run(cc cluster.Config, pol Policy, specs []JobSpec) (*ClusterTrace, error) 
 		return nil, err
 	}
 
-	eng := des.NewEngine()
+	var eng *des.Engine
+	var ss *des.ShardSet
+	if n := cc.ShardCount(); n > 0 {
+		ss = des.NewShardSet(n)
+		eng = ss.Engine(0)
+	} else {
+		eng = des.NewEngine()
+	}
 	cl := cluster.New(eng, cc)
 	defer cl.Close()
 	s, err := NewScheduler(eng, cl, pol)
 	if err != nil {
 		return nil, err
+	}
+	if ss != nil {
+		s.EnableSharding(ss, cc.Launch(), cc.Fabric.Latency)
 	}
 	for _, sp := range specs {
 		s.register(sp)
@@ -288,7 +348,12 @@ func Run(cc cluster.Config, pol Policy, specs []JobSpec) (*ClusterTrace, error) 
 			s.arrive(rec)
 		}
 	})
-	makespan := eng.Run()
+	var makespan des.Time
+	if ss != nil {
+		makespan = ss.Run()
+	} else {
+		makespan = eng.Run()
+	}
 	if s.launchE != nil {
 		return nil, s.launchE
 	}
@@ -370,13 +435,22 @@ func (s *Scheduler) gangFor(rec *jobRec) (int, bool) {
 
 // start places a gang of size ranks and launches the job on it.
 func (s *Scheduler) start(rec *jobRec, size int) {
-	rec.gang = s.place(size)
+	if s.ss != nil {
+		rec.gang, rec.leased = s.placeNodes(size)
+	} else {
+		rec.gang = s.place(size)
+		rec.leased = rec.gang
+	}
 	rec.admit = s.eng.Now()
 	rec.waiting = false
 	rec.running = true
 	s.nRun++
 	if s.OnStart != nil {
 		s.OnStart(rec.id, rec.gang)
+	}
+	if s.ss != nil {
+		s.dispatch(rec)
+		return
 	}
 	err := rec.spec.Job.LaunchOn(s.eng, s.cl, rec.gang, func(tr *core.Trace) {
 		s.finish(rec, tr)
@@ -398,6 +472,41 @@ func (s *Scheduler) start(rec *jobRec, size int) {
 	}
 }
 
+// dispatch launches rec's job on its gang's home shard. The hub->home post
+// carries the launch overhead; the home->hub completion post carries one
+// fabric latency. Both stamps are pure functions of the simulation — hub
+// decision time, gang node IDs, per-key sequence — so the merged event
+// order is identical at every shard count, including 1. All scheduler
+// state stays hub-confined: the home shard only reads the immutable spec
+// and posts results back.
+func (s *Scheduler) dispatch(rec *jobRec) {
+	name := rec.spec.Job.RunName()
+	home := s.homeOf(rec.gang)
+	key := s.cl.NodeOfRank(rec.gang[0]).ID
+	gang := rec.gang
+	s.ss.Post(s.eng, home, hubKey, s.launchLat, name+".launch", func(p *des.Proc) {
+		homeEng := p.Engine()
+		err := rec.spec.Job.LaunchOn(homeEng, s.cl, gang, func(tr *core.Trace) {
+			s.ss.Post(homeEng, 0, key, s.doneLat, name+".done", func(q *des.Proc) {
+				s.finish(rec, tr)
+				s.admit()
+			})
+		})
+		if err != nil {
+			err = fmt.Errorf("sched: launching job %q: %w", name, err)
+			s.ss.Post(homeEng, 0, key, s.doneLat, name+".done", func(q *des.Proc) {
+				// Written on the hub, like every other rec mutation.
+				rec.err = err
+				if s.launchE == nil {
+					s.launchE = rec.err
+				}
+				s.finish(rec, nil)
+				s.admit()
+			})
+		}
+	})
+}
+
 // finish releases a completed job's gang. Completion callbacks re-run
 // admission afterwards; the synchronous launch-error path must not.
 func (s *Scheduler) finish(rec *jobRec, tr *core.Trace) {
@@ -408,13 +517,13 @@ func (s *Scheduler) finish(rec *jobRec, tr *core.Trace) {
 	if s.OnDone != nil {
 		s.OnDone(rec.id, tr, rec.err)
 	}
-	for _, r := range rec.gang {
+	for _, r := range rec.leased {
 		s.free[r] = true
 		// Straggler derating injected by the tenant's fault plan is
 		// scoped to its lease: the next tenant gets nominal hardware.
 		s.cl.Derate(r, 1)
 	}
-	s.nFree += len(rec.gang)
+	s.nFree += len(rec.leased)
 }
 
 // place claims size free global ranks (marking them busy), topology-aware:
@@ -477,6 +586,33 @@ func (s *Scheduler) place(size int) []int {
 	}
 	sort.Ints(gang)
 	return gang
+}
+
+// placeNodes claims whole idle nodes, lowest ID first, until they cover
+// size ranks; the gang is the first size leased ranks and the remainder
+// stay leased-idle until finish. Whole-node leases keep every shared
+// hardware primitive — NICs, PCIe links, the host CPU resource — owned by
+// exactly one gang (one shard) at a time, and they preserve the invariant
+// that every node is either fully free or fully leased, so nFree remains an
+// exact feasibility test for gangFor.
+func (s *Scheduler) placeNodes(size int) (gang, leased []int) {
+	for ni, node := range s.cl.Nodes {
+		if len(leased) >= size {
+			break
+		}
+		if s.freeOn(ni) != len(node.GPUs) {
+			continue
+		}
+		for _, dev := range node.GPUs {
+			s.free[dev.ID] = false
+			s.nFree--
+			leased = append(leased, dev.ID)
+		}
+	}
+	if len(leased) < size {
+		panic(fmt.Sprintf("sched: leasing %d ranks with %d free (node lease invariant broken)", size, s.nFree+len(leased)))
+	}
+	return leased[:size], leased
 }
 
 // freeOn counts a node's idle ranks.

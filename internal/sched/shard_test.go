@@ -1,0 +1,99 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+// shardSpecs is a mixed stream: staggered arrivals, different gang sizes,
+// enough jobs that several run concurrently under the sharing policies.
+func shardSpecs() []JobSpec {
+	return []JobSpec{
+		{At: 0, Job: makeJob("a", 4, 8, 256)},
+		{At: 0, Job: makeJob("b", 2, 4, 256)},
+		{At: 1 << 20, Job: makeJob("c", 8, 8, 256)},
+		{At: 1 << 21, Job: makeJob("d", 4, 6, 256)},
+		{At: 1 << 21, Job: makeJob("e", 2, 4, 256), Weight: 2},
+		{At: 1 << 22, Job: makeJob("f", 12, 8, 256), MinGang: 4},
+	}
+}
+
+// TestShardedTraceInvariantAcrossShardCounts is the heart of the sharded
+// engine's determinism claim at this layer: the identical submission
+// stream, run at 1, 2, 3, and per-node shards, produces byte-identical
+// cluster traces — same admissions, same gangs, same per-rank timings,
+// same makespan.
+func TestShardedTraceInvariantAcrossShardCounts(t *testing.T) {
+	for _, pol := range []Policy{
+		{Kind: FixedShare, Share: 4},
+		{Kind: WeightedFair},
+	} {
+		var base string
+		for _, shards := range []int{1, 2, 3, -1} {
+			cc := cc16()
+			cc.Shards = shards
+			ct, err := Run(cc, pol, shardSpecs())
+			if err != nil {
+				t.Fatalf("%v shards=%d: %v", pol, shards, err)
+			}
+			got := ct.String()
+			if shards == 1 {
+				base = got
+				continue
+			}
+			if got != base {
+				t.Errorf("%v: shards=%d trace diverges from shards=1:\n--- shards=1\n%s\n--- shards=%d\n%s",
+					pol, shards, base, shards, got)
+			}
+		}
+	}
+}
+
+// TestShardedRunIsReproducible reruns the same sharded configuration and
+// demands bit-identical traces: real host parallelism must not leak into
+// the simulation.
+func TestShardedRunIsReproducible(t *testing.T) {
+	cc := cc16()
+	cc.Shards = -1
+	var base string
+	for rep := 0; rep < 3; rep++ {
+		ct, err := Run(cc, Policy{Kind: WeightedFair}, shardSpecs())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := ct.String(); rep == 0 {
+			base = got
+		} else if got != base {
+			t.Fatalf("rep %d diverged:\n%s\n---\n%s", rep, base, got)
+		}
+	}
+}
+
+// TestShardedLeasesWholeNodes checks the isolation rule that makes sharded
+// runs race-free: two concurrent gangs never split a node, even when their
+// sizes would pack onto one.
+func TestShardedLeasesWholeNodes(t *testing.T) {
+	cc := cluster.DefaultConfig(8) // two nodes of four
+	cc.Shards = 2
+	specs := []JobSpec{
+		{At: 0, Job: makeJob("a", 2, 6, 256)},
+		{At: 0, Job: makeJob("b", 2, 6, 256)},
+	}
+	ct, err := Run(cc, Policy{Kind: FixedShare, Share: 2}, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := jobByID(ct, 0), jobByID(ct, 1)
+	if b.Admit >= a.Finish {
+		t.Fatalf("expected overlap on two nodes: b admitted %v, a finished %v", b.Admit, a.Finish)
+	}
+	nodeOf := func(r int) int { return r / 4 }
+	for _, ra := range a.Gang {
+		for _, rb := range b.Gang {
+			if nodeOf(ra) == nodeOf(rb) {
+				t.Fatalf("concurrent sharded gangs share node %d: %v vs %v", nodeOf(ra), a.Gang, b.Gang)
+			}
+		}
+	}
+}

@@ -218,7 +218,8 @@ func (c Config) quotaFor(tenant string) int {
 // publishes job records and stats to foreign reader goroutines (HTTP).
 type session struct {
 	cfg Config
-	eng *des.Engine
+	eng *des.Engine   // the hub engine (shard 0 when sharded)
+	ss  *des.ShardSet // nil = single-engine run
 	cl  *cluster.Cluster
 	sch *sched.Scheduler
 	rec *TraceWriter
@@ -242,16 +243,27 @@ func newSession(cfg Config) (*session, error) {
 	if err := cfg.Cluster.Validate(); err != nil {
 		return nil, err
 	}
-	eng := des.NewEngine()
+	var eng *des.Engine
+	var ss *des.ShardSet
+	if n := cfg.Cluster.ShardCount(); n > 0 {
+		ss = des.NewShardSet(n)
+		eng = ss.Engine(0)
+	} else {
+		eng = des.NewEngine()
+	}
 	cl := cluster.New(eng, cfg.Cluster)
 	sch, err := sched.NewScheduler(eng, cl, cfg.Policy)
 	if err != nil {
 		cl.Close()
 		return nil, err
 	}
+	if ss != nil {
+		sch.EnableSharding(ss, cfg.Cluster.Launch(), cfg.Cluster.Fabric.Latency)
+	}
 	ses := &session{
 		cfg:      cfg,
 		eng:      eng,
+		ss:       ss,
 		cl:       cl,
 		sch:      sch,
 		inflight: make(map[string]int),
@@ -264,6 +276,23 @@ func newSession(cfg Config) (*session, error) {
 	sch.OnStart = ses.onStart
 	sch.OnDone = ses.onDone
 	return ses, nil
+}
+
+// run drives the session's engine (or shard set) to completion.
+func (ses *session) run() des.Time {
+	if ses.ss != nil {
+		return ses.ss.Run()
+	}
+	return ses.eng.Run()
+}
+
+// newInjector opens the session's injection boundary, served by whichever
+// dispatcher (engine or shard coordinator) will run.
+func (ses *session) newInjector() *des.Injector {
+	if ses.ss != nil {
+		return ses.ss.NewInjector()
+	}
+	return ses.eng.NewInjector()
 }
 
 // tenantStats returns (creating) one tenant's counters. Callers hold mu.
@@ -534,14 +563,14 @@ func Start(cfg Config) (*Server, error) {
 	}
 	sv := &Server{
 		ses:     ses,
-		inj:     ses.eng.NewInjector(),
+		inj:     ses.newInjector(),
 		base:    time.Now(),
 		scale:   cfg.TimeScale,
 		runDone: make(chan struct{}),
 	}
 	go func() {
 		defer close(sv.runDone)
-		sv.makespan = ses.eng.Run()
+		sv.makespan = ses.run()
 		ses.cl.Close()
 	}()
 	return sv, nil
@@ -659,6 +688,11 @@ type ReplayOptions struct {
 	Catalog *Catalog
 	// Workers selects the kernel-execution backend (cluster.Config.Workers).
 	Workers int
+	// Shards selects the engine sharding (cluster.Config.Shards): 0 keeps
+	// the legacy single-engine replay, n >= 1 runs n shards, negative one
+	// per node plus the hub. Replays at any shard count >= 1 are mutually
+	// byte-identical; a live run and its replay must use the same setting.
+	Shards int
 	// Cluster overrides the cluster reconstruction. The trace header only
 	// records the machine's shape (GPUs, GPUs per node) and Replay rebuilds
 	// the paper's default testbed from it; a live run on non-default
@@ -687,6 +721,9 @@ func Replay(tr *Trace, opt ReplayOptions) (*Report, error) {
 	// option asks for a specific backend.
 	if opt.Cluster == nil || opt.Workers != 0 {
 		cc.Workers = opt.Workers
+	}
+	if opt.Cluster == nil || opt.Shards != 0 {
+		cc.Shards = opt.Shards
 	}
 	cat := opt.Catalog
 	if cat == nil {
@@ -722,6 +759,6 @@ func Replay(tr *Trace, opt ReplayOptions) (*Report, error) {
 			}
 		}
 	})
-	makespan := ses.eng.Run()
+	makespan := ses.run()
 	return ses.report(makespan), nil
 }
