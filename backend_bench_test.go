@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"repro/internal/apps/wo"
+	"repro/internal/bench"
 	"repro/internal/core"
 )
 
@@ -77,10 +78,10 @@ func TestBackendWallClockGuard(t *testing.T) {
 		t.Skip("wall-clock measurement skipped in -short")
 	}
 	type artifact struct {
-		App        string            `json:"app"`
-		VirtBytes  int64             `json:"virt_bytes"`
-		GOMAXPROCS int               `json:"gomaxprocs"`
-		Rows       []backendBenchRow `json:"rows"`
+		bench.Stamp
+		App       string            `json:"app"`
+		VirtBytes int64             `json:"virt_bytes"`
+		Rows      []backendBenchRow `json:"rows"`
 	}
 	// Pin GOMAXPROCS to the full machine for the measurement: the guard
 	// compares parallel dispatch against serial, so inheriting a capped
@@ -92,7 +93,7 @@ func TestBackendWallClockGuard(t *testing.T) {
 		prev := runtime.GOMAXPROCS(n)
 		defer runtime.GOMAXPROCS(prev)
 	}
-	art := artifact{App: "wo", VirtBytes: 64 << 20, GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	art := artifact{Stamp: bench.NewStamp(), App: "wo", VirtBytes: 64 << 20}
 	const reps = 3
 	for _, gpus := range []int{1, 4, 8} {
 		serial := timeBackend(t, gpus, 0, reps)

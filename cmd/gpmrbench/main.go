@@ -30,15 +30,24 @@
 // shards under conservative lookahead, and -1 uses one shard per simulated
 // node plus a scheduler hub. All shard counts >= 1 produce byte-identical
 // traces; `-exp engine` sweeps the knob and writes BENCH_engine.json.
+//
+// -trace records every run on the virtual-time flight recorder and writes
+// the recording as Chrome trace-event JSON — open it in Perfetto
+// (https://ui.perfetto.dev) or chrome://tracing. Recording never changes
+// results: output with -trace is byte-identical to output without.
+// -cpuprofile / -memprofile write host pprof profiles of the harness.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/bench"
+	"repro/internal/obs"
 )
 
 // experiment is one named entry in the driver registry.
@@ -56,9 +65,15 @@ func main() {
 	seed := flag.Uint64("seed", 1, "workload seed")
 	workers := flag.Int("workers", 0, "kernel-execution workers: 0 = serial, N = pool(N), -1 = pool(all cores)")
 	shards := flag.Int("shards", 0, "DES engine shards: 0 = legacy single engine, N = N shards, -1 = one per node")
+	tracePath := flag.String("trace", "", "write the runs' flight recording as Chrome trace-event JSON (load in Perfetto)")
+	cpuProf := flag.String("cpuprofile", "", "write a host CPU profile to this file")
+	memProf := flag.String("memprofile", "", "write a host heap profile to this file")
 	flag.Parse()
 
 	o := bench.Options{PhysBudget: *phys, Seed: *seed, Workers: *workers, Shards: *shards}
+	if *tracePath != "" {
+		o.Obs = obs.New()
+	}
 	out := os.Stdout
 
 	benches := bench.Benchmarks
@@ -213,14 +228,60 @@ func main() {
 		}
 	}
 
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gpmrbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "gpmrbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
 	for _, e := range experiments {
 		if *exp != "all" && *exp != e.name {
 			continue
 		}
 		if err := e.run(); err != nil {
+			pprof.StopCPUProfile()
 			fmt.Fprintf(os.Stderr, "gpmrbench: %s: %v\n", e.name, err)
 			os.Exit(1)
 		}
 		fmt.Fprintln(out)
+	}
+
+	if *cpuProf != "" {
+		pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gpmrbench: %v\n", err)
+			os.Exit(1)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "gpmrbench: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+	}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gpmrbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := o.Obs.WriteChrome(f); err != nil {
+			fmt.Fprintf(os.Stderr, "gpmrbench: writing trace: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "gpmrbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "gpmrbench: flight recording (%d events) written to %s\n", o.Obs.Len(), *tracePath)
 	}
 }

@@ -7,12 +7,16 @@
 //
 // Endpoints:
 //
-//	POST   /jobs        submit {"tenant","kind","params",...} → 202 JobInfo
-//	GET    /jobs        list all job records
-//	GET    /jobs/{id}   one job record
-//	DELETE /jobs/{id}   cancel a queued job
-//	GET    /metrics     Prometheus text exposition
-//	GET    /healthz     liveness
+//	POST   /jobs                 submit {"tenant","kind","params",...} → 202 JobInfo
+//	GET    /jobs                 list all job records
+//	GET    /jobs/{id}            one job record
+//	GET    /jobs/{id}/timeline   the job's flight-recorder timeline (Chrome trace JSON)
+//	DELETE /jobs/{id}            cancel a queued job
+//	GET    /metrics              Prometheus text exposition (counters + histograms)
+//	GET    /healthz              liveness
+//
+// With -debug-addr set, a second listener serves net/http/pprof under
+// /debug/pprof and expvar under /debug/vars.
 //
 // Shutdown (SIGINT/SIGTERM) stops admissions, waits for every admitted
 // job to finish, writes the arrival trace, and prints the final report
@@ -24,11 +28,14 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
+	_ "expvar" // register /debug/vars on the debug mux
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // register /debug/pprof on the debug mux
 	"os"
 	"os/signal"
 	"strconv"
@@ -36,6 +43,7 @@ import (
 	"syscall"
 
 	"repro/internal/cluster"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/serve"
 )
@@ -54,8 +62,19 @@ func main() {
 	phys := flag.Int("phys", 1<<16, "physical element budget per job")
 	tracePath := flag.String("trace", "", "record the arrival trace to this file (JSONL)")
 	replayPath := flag.String("replay", "", "replay a recorded trace offline and print the report")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof and expvar on this address (e.g. 127.0.0.1:8374)")
 	flag.Parse()
 
+	if *debugAddr != "" {
+		// The blank pprof/expvar imports register on the default mux;
+		// serving it on a second listener keeps profiling off the API port.
+		go func() {
+			log.Printf("gpmrd: debug endpoints (/debug/pprof, /debug/vars) on %s", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				log.Printf("gpmrd: debug server: %v", err)
+			}
+		}()
+	}
 	if *replayPath != "" {
 		if err := replay(*replayPath, *workers, *shards); err != nil {
 			log.Fatalf("gpmrd: %v", err)
@@ -106,6 +125,9 @@ func live(addr string, gpus, perNode int, policy string, share, queue, quota int
 	}
 	cc.Workers = workers
 	cc.Shards = shards
+	// The live daemon always carries a flight recorder: it feeds the
+	// per-job timeline endpoint and recording never perturbs virtual time.
+	cc.Obs = obs.New()
 
 	var traceF *os.File
 	cfg := serve.Config{
@@ -184,6 +206,21 @@ func live(addr string, gpus, perNode int, policy string, share, queue, quota int
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]bool{"cancelled": true})
+	})
+	mux.HandleFunc("GET /jobs/{id}/timeline", func(w http.ResponseWriter, r *http.Request) {
+		id, err := strconv.Atoi(r.PathValue("id"))
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad job id")
+			return
+		}
+		// Buffer so a missing job can still become a clean 404.
+		var buf bytes.Buffer
+		if err := sv.WriteTimeline(&buf, id); err != nil {
+			httpError(w, http.StatusNotFound, err.Error())
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(buf.Bytes())
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")

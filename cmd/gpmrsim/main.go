@@ -16,6 +16,7 @@ import (
 	"os"
 
 	"repro/internal/bench"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -25,9 +26,15 @@ func main() {
 	phys := flag.Int("phys", 1<<16, "physical element budget")
 	seed := flag.Uint64("seed", 1, "workload seed")
 	ranks := flag.Bool("ranks", false, "print per-rank traces")
+	tracePath := flag.String("trace", "", "write the job's flight recording as Chrome trace-event JSON (load in Perfetto)")
+	summary := flag.Bool("summary", false, "print the flight recording's utilization and critical-path summary (implies recording)")
 	flag.Parse()
 
-	wall, tr, err := bench.Run(*benchName, *size, *gpus, bench.Options{PhysBudget: *phys, Seed: *seed})
+	opts := bench.Options{PhysBudget: *phys, Seed: *seed}
+	if *tracePath != "" || *summary {
+		opts.Obs = obs.New()
+	}
+	wall, tr, err := bench.Run(*benchName, *size, *gpus, opts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "gpmrsim: %v\n", err)
 		os.Exit(1)
@@ -46,5 +53,24 @@ func main() {
 				r, rt.MapDone, rt.ShuffleDone, rt.SortDone, rt.ReduceDone,
 				rt.ChunksMapped, rt.ChunksStolen, rt.OutOfCore)
 		}
+	}
+	if *summary {
+		fmt.Print(obs.Summarize(opts.Obs.Canonical()).String())
+	}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gpmrsim: %v\n", err)
+			os.Exit(1)
+		}
+		if err := opts.Obs.WriteChrome(f); err != nil {
+			fmt.Fprintf(os.Stderr, "gpmrsim: writing trace: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "gpmrsim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "gpmrsim: flight recording (%d events) written to %s\n", opts.Obs.Len(), *tracePath)
 	}
 }

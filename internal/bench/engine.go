@@ -140,16 +140,16 @@ func RenderEngine(w io.Writer, rows []EngineRow) {
 // WriteEngineJSON emits the BENCH_engine.json artifact.
 func WriteEngineJSON(path string, rows []EngineRow) error {
 	art := struct {
+		Stamp
 		Experiment string      `json:"experiment"`
 		Jobs       int         `json:"jobs"`
 		GPUs       int         `json:"gpus"`
-		GOMAXPROCS int         `json:"gomaxprocs"`
 		Rows       []EngineRow `json:"rows"`
 	}{
+		Stamp:      NewStamp(),
 		Experiment: "multijob stream, FixedShare(4) + WeightedFair",
 		Jobs:       MultijobJobs,
 		GPUs:       MultijobGPUs,
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Rows:       rows,
 	}
 	data, err := json.MarshalIndent(art, "", "  ")

@@ -107,11 +107,17 @@ func Multijob(o Options) ([]MultijobRow, []*sched.ClusterTrace, error) {
 	// over engine shards.
 	cc.Workers = o.Workers
 	cc.Shards = o.Shards
+	cc.Obs = o.Obs
 	var rows []MultijobRow
 	var traces []*sched.ClusterTrace
 	for _, pol := range multijobPolicies() {
+		// Each policy replays the same stream on a fresh cluster; prefix
+		// its flight-recorder streams so the three runs stay distinct in
+		// one trace file.
+		o.Obs.SetPrefix(pol.Kind.String() + "/")
 		ct, err := sched.Run(cc, pol, multijobStream(o))
 		if err != nil {
+			o.Obs.SetPrefix("")
 			return nil, nil, err
 		}
 		small := func(j *sched.JobTrace) bool { return j.Want <= MultijobSmallWant }
@@ -129,6 +135,7 @@ func Multijob(o Options) ([]MultijobRow, []*sched.ClusterTrace, error) {
 		})
 		traces = append(traces, ct)
 	}
+	o.Obs.SetPrefix("")
 	return rows, traces, nil
 }
 

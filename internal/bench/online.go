@@ -104,8 +104,13 @@ func Online(o Options) ([]OnlineRow, error) {
 				Quota:       OnlineQuota,
 				PhysBudget:  o.PhysBudget,
 			}
-			rep, err := serve.Replay(&serve.Trace{Header: h, Events: evs}, serve.ReplayOptions{Workers: o.Workers, Shards: o.Shards})
+			// Prefix this cell's flight-recorder streams so all nine
+			// (load, policy) replays stay distinct in one trace file.
+			o.Obs.SetPrefix(fmt.Sprintf("%.0fms/%s/", gap, pol.Kind))
+			rep, err := serve.Replay(&serve.Trace{Header: h, Events: evs},
+				serve.ReplayOptions{Workers: o.Workers, Shards: o.Shards, Obs: o.Obs})
 			if err != nil {
+				o.Obs.SetPrefix("")
 				return nil, fmt.Errorf("online: gap %.0fms policy %s: %w", gap, pol.Kind, err)
 			}
 			s := rep.Stats
@@ -124,6 +129,7 @@ func Online(o Options) ([]OnlineRow, error) {
 			})
 		}
 	}
+	o.Obs.SetPrefix("")
 	return rows, nil
 }
 

@@ -21,6 +21,7 @@ import (
 	"repro/internal/apps/wo"
 	"repro/internal/core"
 	"repro/internal/des"
+	"repro/internal/obs"
 )
 
 // Options tunes harness fidelity against host wall-clock time.
@@ -43,6 +44,10 @@ type Options struct {
 	// (see cluster.Config.Shards): 0 = legacy single engine, n >= 1 = a
 	// ShardSet of n engines, negative = one per node plus the hub.
 	Shards int
+	// Obs, when set, records every run's flight-recorder trace (see
+	// internal/obs). Recording does not perturb results: all rendered
+	// output is byte-identical with and without it.
+	Obs *obs.Recorder
 }
 
 func (o Options) withDefaults() Options {
@@ -74,6 +79,7 @@ func Run(benchName string, size int64, gpus int, o Options) (des.Time, *core.Tra
 		}
 		b.Job1.Config.Workers = o.Workers
 		b.Job1.Config.Shards = o.Shards
+		b.Job1.Config.Obs = o.Obs
 		_, tr1, tr2, err := b.Run()
 		if err != nil {
 			return 0, nil, err
@@ -91,6 +97,7 @@ func Run(benchName string, size int64, gpus int, o Options) (des.Time, *core.Tra
 		job, _ := sio.NewJob(sio.Params{Elements: size, GPUs: gpus, Seed: o.Seed, PhysMax: o.PhysBudget})
 		job.Config.Workers = o.Workers
 		job.Config.Shards = o.Shards
+		job.Config.Obs = o.Obs
 		res, err := job.Run()
 		if err != nil {
 			return 0, nil, err
@@ -100,6 +107,7 @@ func Run(benchName string, size int64, gpus int, o Options) (des.Time, *core.Tra
 		b := wo.NewJob(wo.Params{Bytes: size, GPUs: gpus, Seed: o.Seed, PhysMax: o.PhysBudget, DictSize: woDict(o)})
 		b.Job.Config.Workers = o.Workers
 		b.Job.Config.Shards = o.Shards
+		b.Job.Config.Obs = o.Obs
 		res, err := b.Job.Run()
 		if err != nil {
 			return 0, nil, err
@@ -109,6 +117,7 @@ func Run(benchName string, size int64, gpus int, o Options) (des.Time, *core.Tra
 		b := kmc.NewJob(kmc.Params{Points: size, GPUs: gpus, Seed: o.Seed, PhysMax: o.PhysBudget})
 		b.Job.Config.Workers = o.Workers
 		b.Job.Config.Shards = o.Shards
+		b.Job.Config.Obs = o.Obs
 		res, err := b.Job.Run()
 		if err != nil {
 			return 0, nil, err
@@ -118,6 +127,7 @@ func Run(benchName string, size int64, gpus int, o Options) (des.Time, *core.Tra
 		b := lr.NewJob(lr.Params{Points: size, GPUs: gpus, Seed: o.Seed, PhysMax: o.PhysBudget})
 		b.Job.Config.Workers = o.Workers
 		b.Job.Config.Shards = o.Shards
+		b.Job.Config.Obs = o.Obs
 		res, err := b.Job.Run()
 		if err != nil {
 			return 0, nil, err

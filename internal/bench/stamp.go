@@ -1,0 +1,35 @@
+package bench
+
+import (
+	"os/exec"
+	"runtime"
+	"strings"
+)
+
+// BenchSchema versions the BENCH_*.json artifact layout. Bump it when a
+// field changes meaning so cross-PR tooling can refuse to compare
+// incompatible artifacts.
+const BenchSchema = 2
+
+// Stamp is the provenance header embedded in every BENCH artifact, so a
+// bench trajectory is machine-comparable across PRs: which schema, which
+// commit, and how many host cores the rows ran under.
+type Stamp struct {
+	Schema     int    `json:"schema"`
+	Commit     string `json:"commit"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+}
+
+// NewStamp captures the current provenance. The commit is git's short
+// hash of HEAD, or "unknown" outside a checkout.
+func NewStamp() Stamp {
+	return Stamp{Schema: BenchSchema, Commit: gitCommit(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
+}
+
+func gitCommit() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/des"
 	"repro/internal/fabric"
 	"repro/internal/gpu"
+	"repro/internal/obs"
 )
 
 // NodeProps describes one cluster node's host side.
@@ -86,6 +87,11 @@ type Config struct {
 	// hub->shard lookahead that lets shards run concurrently. Zero means
 	// DefaultLaunchOverhead. Only sharded runs (Shards != 0) charge it.
 	LaunchOverhead des.Time
+
+	// Obs is the flight recorder shared by every layer of the simulation
+	// (nil = tracing disabled). Recording never perturbs the schedule, so
+	// results are byte-identical with or without it.
+	Obs *obs.Recorder
 }
 
 // DefaultLaunchOverhead is the job-launch dispatch cost charged by sharded
@@ -151,6 +157,7 @@ type Cluster struct {
 	Nodes   []*Node
 	GPUs    []*gpu.Device // indexed by rank
 	Fabric  *fabric.Fabric
+	Obs     *obs.Recorder // flight recorder (nil = disabled)
 	nodeOf  []int
 	backend gpu.Backend
 }
@@ -190,6 +197,18 @@ func New(eng *des.Engine, cfg Config) *Cluster {
 	c.backend = gpu.NewBackend(cfg.Workers)
 	for _, dev := range c.GPUs {
 		dev.SetBackend(c.backend)
+	}
+	c.Obs = cfg.Obs
+	if c.Obs.Enabled() {
+		for _, dev := range c.GPUs {
+			dev.SetObs(c.Obs)
+		}
+		// Host-configuration attribution stays in CatEngine: backend and
+		// worker choice change wall-clock only, and the canonical trace
+		// must not vary with them.
+		c.Obs.Emit(int64(eng.Now()), obs.CatEngine, "cluster", "cluster.build",
+			obs.Int("gpus", int64(cfg.GPUs)), obs.Int("nodes", int64(nNodes)),
+			obs.A("backend", fmt.Sprintf("%T", c.backend)), obs.Int("workers", int64(cfg.Workers)))
 	}
 	return c
 }

@@ -6,6 +6,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/des"
 	"repro/internal/fault"
+	"repro/internal/obs"
 )
 
 // Config controls one GPMR job's pipeline shape and the cluster it runs on.
@@ -111,6 +112,12 @@ type Config struct {
 	// when no queue anywhere meets it — better one shift than an idle
 	// GPU.
 	StealMinQueue int
+
+	// Obs attaches a flight recorder to an exclusive run (nil = tracing
+	// off). It flows into the cluster the run builds; an explicit
+	// Cluster.Obs wins. Scheduled runs record through the shared
+	// cluster's recorder instead.
+	Obs *obs.Recorder
 }
 
 // resilient reports whether the job needs the fault-tolerant scheduler:
@@ -178,6 +185,9 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.Cluster.Shards == 0 {
 		c.Cluster.Shards = c.Shards
+	}
+	if c.Cluster.Obs == nil {
+		c.Cluster.Obs = c.Obs
 	}
 	if c.Cluster.GPUs != c.GPUs {
 		return c, fmt.Errorf("core: cluster config has %d GPUs, job wants %d", c.Cluster.GPUs, c.GPUs)

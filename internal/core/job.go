@@ -8,6 +8,7 @@ import (
 	"repro/internal/des"
 	"repro/internal/fault"
 	"repro/internal/keyval"
+	"repro/internal/obs"
 )
 
 // Job describes one GPMR run: input chunks plus the user's pipeline pieces.
@@ -92,6 +93,13 @@ func (j *Job[V]) Run() (*Result[V], error) {
 	} else {
 		eng = des.NewEngine()
 	}
+	if r := cfg.Cluster.Obs; r.Enabled() {
+		if ss != nil {
+			ss.SetRecorder(r)
+		} else {
+			eng.SetRecorder(r)
+		}
+	}
 	cl := cluster.New(eng, *cfg.Cluster)
 	defer cl.Close()
 	var res *Result[V]
@@ -169,6 +177,7 @@ func (j *Job[V]) launchOn(eng *des.Engine, cl *cluster.Cluster, ranks []int, don
 		outs:   make([]keyval.Pairs[V], cfg.GPUs),
 		gather: make([]*keyval.Pairs[V], cfg.GPUs),
 		ft:     newFaultState(cfg.GPUs),
+		obs:    cl.Obs,
 	}
 	rt.sched = newScheduler(eng, j.Chunks, cfg, g, j.Assign)
 	rt.sched.derateOf = g.derate
@@ -257,6 +266,7 @@ type runtime[V any] struct {
 	outs   []keyval.Pairs[V]  // final pairs by reduce partition
 	gather []*keyval.Pairs[V] // rank 0's gathered outputs, by partition
 	ft     faultState
+	obs    *obs.Recorder // flight recorder, from the cluster (nil = off)
 }
 
 // Runnable is the non-generic face of a Job, letting the job-level

@@ -7,6 +7,7 @@ import (
 	"repro/internal/des"
 	"repro/internal/gpu"
 	"repro/internal/keyval"
+	"repro/internal/obs"
 )
 
 // Message tags on the fabric.
@@ -72,10 +73,11 @@ type loadedChunk struct {
 
 // rankState wires one GPU process's sub-processes together.
 type rankState[V any] struct {
-	rt   *runtime[V]
-	rank int
-	dev  *gpu.Device
-	tr   *RankTrace
+	rt     *runtime[V]
+	rank   int
+	dev    *gpu.Device
+	tr     *RankTrace
+	stream string // flight-recorder stream: "<job>/r<rank>"
 
 	loadedQ      *des.Queue
 	binQ         *des.Queue
@@ -98,6 +100,7 @@ func (rt *runtime[V]) spawnRank(eng *des.Engine, rank int) {
 		rank:      rank,
 		dev:       rt.g.dev(rank),
 		tr:        &rt.traces[rank],
+		stream:    fmt.Sprintf("%s/r%d", rt.cfg.Name, rank),
 		loadedQ:   des.NewQueue(eng, rt.procName(fmt.Sprintf("r%d.loaded", rank))),
 		binQ:      des.NewQueue(eng, rt.procName(fmt.Sprintf("r%d.bin", rank))),
 		slots:     des.NewResource(eng, rt.procName(fmt.Sprintf("r%d.slots", rank)), rt.cfg.PipelineDepth),
@@ -155,12 +158,21 @@ func (st *rankState[V]) loaderProc(p *des.Proc) {
 			return
 		}
 		chunk := a.chunk
+		r := st.rt.obs
 		switch {
 		case a.speculative:
 			st.tr.SpecLaunched++
+			if r.Enabled() {
+				r.Emit(int64(p.Now()), obs.CatSim, st.stream, "spec.launch",
+					obs.Int("chunk", int64(a.idx)))
+			}
 		case a.recoveredFrom >= 0:
 			st.tr.ChunksRecovered++
 			st.tr.RecoveredBytes += chunk.VirtBytes()
+			if r.Enabled() {
+				r.Emit(int64(p.Now()), obs.CatSim, st.stream, "recover",
+					obs.Int("from", int64(a.recoveredFrom)), obs.Int("bytes", chunk.VirtBytes()))
+			}
 		case a.stolenFrom >= 0:
 			st.tr.ChunksStolen++
 			st.tr.StolenBytes += chunk.VirtBytes()
@@ -170,6 +182,10 @@ func (st *rankState[V]) loaderProc(p *des.Proc) {
 			} else {
 				st.tr.RemoteSteals++
 				st.tr.RemoteStolenBytes += chunk.VirtBytes()
+			}
+			if r.Enabled() {
+				r.Emit(int64(p.Now()), obs.CatSim, st.stream, "steal",
+					obs.Int("from", int64(a.stolenFrom)), obs.Int("bytes", chunk.VirtBytes()))
 			}
 		}
 		st.slots.Acquire(p, 1)
@@ -535,6 +551,7 @@ func (st *rankState[V]) reduceProc(p *des.Proc) {
 		st.send(p, rt.ft.relayTo[st.rank], tagRelayDone, endMsgBytes, nil)
 		st.tr.SortDone = p.Now() - rt.start
 		st.tr.ReduceDone = p.Now() - rt.start
+		st.emitPhases()
 		st.gatherPhase(p)
 		return
 	}
@@ -545,6 +562,7 @@ func (st *rankState[V]) reduceProc(p *des.Proc) {
 		}
 		st.tr.SortDone = p.Now() - rt.start
 		st.tr.ReduceDone = p.Now() - rt.start
+		st.emitPhases()
 		st.gatherPhase(p)
 		return
 	}
@@ -561,7 +579,27 @@ func (st *rankState[V]) reduceProc(p *des.Proc) {
 		}
 	}
 	st.recvd = nil
+	st.emitPhases()
 	st.gatherPhase(p)
+}
+
+// emitPhases records the rank's four pipeline phases as flight-recorder
+// spans, reconstructed from the RankTrace's cumulative phase stamps. It
+// runs once per rank, at the end of reduceProc — MapDone is guaranteed
+// set by then (the rank's own end marker is sent after the assignment),
+// and emitting all spans from one point keeps the per-stream order
+// trivially deterministic.
+func (st *rankState[V]) emitPhases() {
+	r := st.rt.obs
+	if !r.Enabled() {
+		return
+	}
+	base := int64(st.rt.start)
+	r.Span(base, base+int64(st.tr.MapDone), obs.CatSim, st.stream, "phase.map",
+		obs.Int("chunks", int64(st.tr.ChunksMapped)))
+	r.Span(base+int64(st.tr.MapDone), base+int64(st.tr.ShuffleDone), obs.CatSim, st.stream, "phase.shuffle")
+	r.Span(base+int64(st.tr.ShuffleDone), base+int64(st.tr.SortDone), obs.CatSim, st.stream, "phase.sort")
+	r.Span(base+int64(st.tr.SortDone), base+int64(st.tr.ReduceDone), obs.CatSim, st.stream, "phase.reduce")
 }
 
 // drainStaleControl empties leftover fault-control messages from this

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/des"
 	"repro/internal/fault"
+	"repro/internal/obs"
 )
 
 // faultState is the runtime's fault bookkeeping. The model (see
@@ -109,6 +110,9 @@ func (rt *runtime[V]) failRank(p *des.Proc, f int) {
 	rt.ft.failed[f] = true
 	rt.traces[f].Failed = true
 	rt.traces[f].FailedAt = p.Now() - rt.start
+	if rt.obs.Enabled() {
+		rt.obs.Emit(int64(p.Now()), obs.CatSim, fmt.Sprintf("%s/r%d", rt.cfg.Name, f), "fail")
+	}
 	rt.sched.fail(f)
 	if rt.ft.closed[f] {
 		// Post-shuffle injection: f's map output is fully delivered and
@@ -149,6 +153,11 @@ func (rt *runtime[V]) applyFault(p *des.Proc, ev fault.Event) {
 		rt.g.setDerate(ev.Rank, ev.Factor)
 		if ev.Factor > rt.traces[ev.Rank].Derated {
 			rt.traces[ev.Rank].Derated = ev.Factor
+		}
+		if rt.obs.Enabled() {
+			rt.obs.Emit(int64(p.Now()), obs.CatSim,
+				fmt.Sprintf("%s/r%d", rt.cfg.Name, ev.Rank), "derate",
+				obs.Float("factor", ev.Factor))
 		}
 	}
 }

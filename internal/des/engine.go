@@ -4,6 +4,8 @@ import (
 	"container/heap"
 	"fmt"
 	"sort"
+
+	"repro/internal/obs"
 )
 
 // event is a scheduled wake-up for a process.
@@ -65,6 +67,11 @@ type Engine struct {
 	injc        chan injMsg
 	stopped     chan struct{}
 	everStopped bool
+	// Flight recorder (nil = disabled). The engine itself only reports
+	// bookkeeping (dispatch counts, injector arrivals); simulation-level
+	// events come from the layers above through the same recorder.
+	rec        *obs.Recorder
+	dispatched uint64
 }
 
 type yieldMsg struct {
@@ -89,6 +96,18 @@ func NewEngine() *Engine {
 
 // Now returns the current simulated time.
 func (e *Engine) Now() Time { return e.now }
+
+// SetRecorder attaches a flight recorder (nil disables recording). Must
+// be called before Run.
+func (e *Engine) SetRecorder(r *obs.Recorder) {
+	if e.running {
+		panic("des: SetRecorder while the engine is running")
+	}
+	e.rec = r
+}
+
+// Recorder returns the attached flight recorder (nil when disabled).
+func (e *Engine) Recorder() *obs.Recorder { return e.rec }
 
 // Proc is the handle a simulated process uses to interact with the engine.
 // Each Proc is bound to exactly one goroutine (the one running its body).
@@ -237,6 +256,10 @@ func (e *Engine) Run() Time {
 		e.step()
 	}
 	e.checkFutures()
+	if e.rec.Enabled() {
+		e.rec.Emit(int64(e.now), obs.CatEngine, "engine", "engine.stats",
+			obs.Int("dispatched", int64(e.dispatched)))
+	}
 	return e.now
 }
 
@@ -299,6 +322,7 @@ func (e *Engine) step() {
 	}
 	ev := e.queue.popEvent()
 	e.now = ev.at
+	e.dispatched++
 	ev.proc.resume <- struct{}{}
 	msg := <-e.yield
 	if msg.pnc != nil {

@@ -3,6 +3,8 @@ package des
 import (
 	"errors"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // Injection errors. Inject and Close report them instead of panicking
@@ -105,6 +107,12 @@ func (e *Engine) applyInjection(m injMsg) {
 			panic("des: injector closed twice")
 		}
 		return
+	}
+	if e.rec.Enabled() {
+		// Injections exist only in live (wall-clock-driven) runs; replayed
+		// and batch simulations spawn their arrivals as ordinary processes,
+		// so these events never appear on a determinism-checked path.
+		e.rec.Emit(int64(e.now), obs.CatSim, "injector", "inject", obs.A("name", m.name))
 	}
 	e.Spawn(m.name, m.body)
 }

@@ -5,6 +5,8 @@ import (
 	"math"
 	"sort"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // infTime is the sentinel "no event scheduled" horizon. It is far enough
@@ -122,6 +124,7 @@ type ShardSet struct {
 	seqs   map[int]uint64 // next seq per srcKey
 
 	ran bool
+	rec *obs.Recorder
 }
 
 // NewShardSet creates n engines (n >= 1) wired for coordinated execution.
@@ -146,6 +149,19 @@ func NewShardSet(n int) *ShardSet {
 
 // Shards returns the number of engines in the set.
 func (ss *ShardSet) Shards() int { return len(ss.engines) }
+
+// SetRecorder attaches a flight recorder to every shard engine and to the
+// coordinator (which reports per-round synchronization bookkeeping). Must
+// be called before Run.
+func (ss *ShardSet) SetRecorder(r *obs.Recorder) {
+	if ss.ran {
+		panic("des: SetRecorder after Run")
+	}
+	ss.rec = r
+	for _, e := range ss.engines {
+		e.SetRecorder(r)
+	}
+}
 
 // Engine returns shard i's engine. Engine 0 is the hub.
 func (ss *ShardSet) Engine(i int) *Engine { return ss.engines[i] }
@@ -283,6 +299,10 @@ func (ss *ShardSet) applyInjection(m injMsg) {
 	if at < hub.now {
 		at = hub.now
 	}
+	if ss.rec.Enabled() {
+		// Live-mode-only, like the single-engine injection event.
+		ss.rec.Emit(int64(at), obs.CatSim, "injector", "inject", obs.A("name", m.name))
+	}
 	hub.spawnAt(at, m.name, m.body)
 }
 
@@ -333,6 +353,7 @@ func (ss *ShardSet) Run() Time {
 	safes := make([]Time, n)
 	var wg sync.WaitGroup
 	panics := make([]any, n)
+	var rounds, shardRuns int64
 
 	for {
 		ss.drainInjections()
@@ -401,10 +422,12 @@ func (ss *ShardSet) Run() Time {
 			// latency cycle rather than spin forever.
 			panic(fmt.Sprintf("des: shard set stalled at t=%v (zero-lookahead cycle?)", ss.frontier()))
 		}
+		running := 0
 		for i := range ss.engines {
 			if nets[i] >= safes[i] {
 				continue
 			}
+			running++
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
@@ -418,9 +441,24 @@ func (ss *ShardSet) Run() Time {
 				panic(pnc)
 			}
 		}
+		rounds++
+		shardRuns += int64(running)
+		if ss.rec.Enabled() {
+			ss.rec.Emit(int64(ss.frontier()), obs.CatEngine, "shardset", "round",
+				obs.Int("round", rounds), obs.Int("ran", int64(running)))
+		}
 	}
 	for _, e := range ss.engines {
 		e.checkFutures()
+	}
+	if ss.rec.Enabled() {
+		var dispatched int64
+		for _, e := range ss.engines {
+			dispatched += int64(e.dispatched)
+		}
+		ss.rec.Emit(int64(ss.frontier()), obs.CatEngine, "shardset", "shardset.stats",
+			obs.Int("shards", int64(n)), obs.Int("rounds", rounds),
+			obs.Int("shard_runs", shardRuns), obs.Int("dispatched", dispatched))
 	}
 	return ss.frontier()
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/des"
+	"repro/internal/obs"
 )
 
 // Device is one simulated GPU. Its compute engine and copy engine are
@@ -30,6 +31,11 @@ type Device struct {
 	// Accumulated busy times for utilization reporting.
 	KernelTime des.Time
 	CopyTime   des.Time
+	// Flight recorder (nil = disabled) and this device's precomputed
+	// stream keys, so the hot path never formats strings.
+	rec      *obs.Recorder
+	csStream string
+	cpStream string
 }
 
 // NewDevice creates a device attached to the given PCIe link resource.
@@ -44,8 +50,18 @@ func NewDevice(eng *des.Engine, id int, pr Props, pcieLink *des.Resource, pciePr
 		pcieBW:  pcieProps.Bandwidth,
 		pcieLat: pcieProps.Latency,
 		exec:    Serial{},
+
+		csStream: fmt.Sprintf("gpu%d.compute", id),
+		cpStream: fmt.Sprintf("gpu%d.copy", id),
 	}
 }
+
+// SetObs attaches a flight recorder; kernel launches become spans on the
+// "gpuN.compute" stream and DMA transfers on "gpuN.copy". Span boundaries
+// are resource-grant and completion times, which the backend-invariance
+// and shard-invariance guarantees make identical under any host
+// configuration — recorded traces diff byte-for-byte across backends.
+func (d *Device) SetObs(r *obs.Recorder) { d.rec = r }
 
 // SetBackend selects the execution backend for this device's kernel
 // closures; nil restores the Serial default. Devices of one cluster share
@@ -189,10 +205,15 @@ func (b *Buffer) Free() {
 func (d *Device) Launch(p *des.Proc, spec KernelSpec, fn func()) des.Time {
 	cost := d.scaled(spec.Cost(d.Props))
 	d.compute.Acquire(p, 1)
+	t0 := p.Now()
 	fut := d.exec.Start(p.Engine(), spec.Name, fn)
 	p.Sleep(cost)
 	if fut != nil {
 		fut.Join()
+	}
+	if d.rec.Enabled() {
+		d.rec.Span(int64(t0), int64(p.Now()), obs.CatSim, d.csStream, "kernel",
+			obs.A("name", spec.Name))
 	}
 	d.compute.Release(1)
 	d.KernelTime += cost
@@ -213,10 +234,15 @@ func (d *Device) LaunchFor(p *des.Proc, cost des.Time, fn func()) des.Time {
 func (d *Device) LaunchForNamed(p *des.Proc, name string, cost des.Time, fn func()) des.Time {
 	cost = d.scaled(cost)
 	d.compute.Acquire(p, 1)
+	t0 := p.Now()
 	fut := d.exec.Start(p.Engine(), name, fn)
 	p.Sleep(cost)
 	if fut != nil {
 		fut.Join()
+	}
+	if d.rec.Enabled() {
+		d.rec.Span(int64(t0), int64(p.Now()), obs.CatSim, d.csStream, "kernel",
+			obs.A("name", name))
 	}
 	d.compute.Release(1)
 	d.KernelTime += cost
@@ -224,15 +250,21 @@ func (d *Device) LaunchForNamed(p *des.Proc, name string, cost des.Time, fn func
 }
 
 // transfer models one PCIe DMA: the copy engine and the (possibly shared)
-// link are held for the transfer duration.
-func (d *Device) transfer(p *des.Proc, virtBytes int64, fn func()) des.Time {
+// link are held for the transfer duration. dir is the recorded direction
+// attribute ("h2d" or "d2h").
+func (d *Device) transfer(p *des.Proc, dir string, virtBytes int64, fn func()) des.Time {
 	dur := d.scaled(d.pcieLat + des.FromSeconds(float64(virtBytes)/d.pcieBW))
 	d.copyEng.Acquire(p, 1)
 	d.pcie.Acquire(p, 1)
+	t0 := p.Now()
 	if fn != nil {
 		fn()
 	}
 	p.Sleep(dur)
+	if d.rec.Enabled() {
+		d.rec.Span(int64(t0), int64(p.Now()), obs.CatSim, d.cpStream, "copy",
+			obs.A("dir", dir), obs.Int("bytes", virtBytes))
+	}
 	d.pcie.Release(1)
 	d.copyEng.Release(1)
 	d.CopyTime += dur
@@ -242,12 +274,12 @@ func (d *Device) transfer(p *des.Proc, virtBytes int64, fn func()) des.Time {
 // CopyToDevice models a host→device transfer of virtBytes; fn (optional)
 // installs the functional payload.
 func (d *Device) CopyToDevice(p *des.Proc, virtBytes int64, fn func()) des.Time {
-	return d.transfer(p, virtBytes, fn)
+	return d.transfer(p, "h2d", virtBytes, fn)
 }
 
 // CopyToHost models a device→host transfer of virtBytes.
 func (d *Device) CopyToHost(p *des.Proc, virtBytes int64, fn func()) des.Time {
-	return d.transfer(p, virtBytes, fn)
+	return d.transfer(p, "d2h", virtBytes, fn)
 }
 
 // ComputeBusy returns the compute engine's busy-time integral.

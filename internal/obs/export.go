@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// The exports are hand-serialized with a fixed field order so the output
+// is byte-deterministic: a canonical event set always produces an
+// identical file, which is what the cross-shard/cross-backend trace
+// differential tests diff. String values go through encoding/json so
+// arbitrary tenant/job names stay valid JSON.
+
+// jstr renders s as a JSON string literal.
+func jstr(s string) string {
+	b, err := json.Marshal(s)
+	if err != nil {
+		// Marshal of a string cannot fail.
+		panic(err)
+	}
+	return string(b)
+}
+
+// writeEventJSON writes one event as a single-line JSON object with a
+// fixed field order: t, dur, stream, kind, attrs (attrs omitted when
+// empty, preserving emission order inside the object).
+func writeEventJSON(w *bufio.Writer, e *Event) {
+	w.WriteString(`{"t":`)
+	w.WriteString(strconv.FormatInt(e.T, 10))
+	w.WriteString(`,"dur":`)
+	w.WriteString(strconv.FormatInt(e.Dur, 10))
+	w.WriteString(`,"stream":`)
+	w.WriteString(jstr(e.Stream))
+	w.WriteString(`,"kind":`)
+	w.WriteString(jstr(e.Kind))
+	if len(e.Attrs) > 0 {
+		w.WriteString(`,"attrs":{`)
+		for i, a := range e.Attrs {
+			if i > 0 {
+				w.WriteByte(',')
+			}
+			w.WriteString(jstr(a.K))
+			w.WriteByte(':')
+			w.WriteString(jstr(a.V))
+		}
+		w.WriteByte('}')
+	}
+	w.WriteByte('}')
+}
+
+// WriteJSONL writes the canonical event set as JSON Lines: one event per
+// line, canonical order, fixed field order. This is the schema of record
+// for trace differential tests.
+func (r *Recorder) WriteJSONL(w io.Writer) error {
+	return WriteJSONL(w, r.Canonical())
+}
+
+// WriteJSONL serializes an event slice as JSON Lines.
+func WriteJSONL(w io.Writer, evs []Event) error {
+	bw := bufio.NewWriter(w)
+	for i := range evs {
+		writeEventJSON(bw, &evs[i])
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// WriteChrome writes the canonical event set in Chrome trace-event JSON
+// (the "JSON object format"), loadable in Perfetto and chrome://tracing.
+func (r *Recorder) WriteChrome(w io.Writer) error {
+	return WriteChrome(w, r.Canonical(), nil)
+}
+
+// WriteChromeFiltered writes the canonical events whose stream keep
+// accepts — e.g. one job's timelines for a per-job HTTP endpoint.
+func (r *Recorder) WriteChromeFiltered(w io.Writer, keep func(stream string) bool) error {
+	return WriteChrome(w, r.Canonical(), keep)
+}
+
+// usec renders a nanosecond time as trace-event microseconds with fixed
+// (3-digit) precision, keeping full nanosecond resolution byte-stably.
+func usec(ns int64) string {
+	return strconv.FormatFloat(float64(ns)/1e3, 'f', 3, 64)
+}
+
+// WriteChrome serializes events as Chrome trace-event JSON. Streams map
+// to thread lanes (tid), named through thread_name metadata records; spans
+// become complete ("X") events and instants thread-scoped ("i") events.
+// keep, when non-nil, filters by stream. Output is byte-deterministic.
+func WriteChrome(w io.Writer, evs []Event, keep func(stream string) bool) error {
+	if keep != nil {
+		kept := make([]Event, 0, len(evs))
+		for _, e := range evs {
+			if keep(e.Stream) {
+				kept = append(kept, e)
+			}
+		}
+		evs = kept
+	}
+	// Stable lane assignment: streams sorted by name.
+	tids := make(map[string]int)
+	var streams []string
+	for i := range evs {
+		if _, ok := tids[evs[i].Stream]; !ok {
+			tids[evs[i].Stream] = 0
+			streams = append(streams, evs[i].Stream)
+		}
+	}
+	sort.Strings(streams)
+	for i, s := range streams {
+		tids[s] = i + 1
+	}
+
+	bw := bufio.NewWriter(w)
+	bw.WriteString(`{"displayTimeUnit":"ms","traceEvents":[` + "\n")
+	bw.WriteString(`{"ph":"M","pid":1,"tid":0,"name":"process_name","args":{"name":"gpmr"}}`)
+	for _, s := range streams {
+		bw.WriteString(",\n")
+		bw.WriteString(`{"ph":"M","pid":1,"tid":`)
+		bw.WriteString(strconv.Itoa(tids[s]))
+		bw.WriteString(`,"name":"thread_name","args":{"name":`)
+		bw.WriteString(jstr(s))
+		bw.WriteString(`}}`)
+	}
+	for i := range evs {
+		e := &evs[i]
+		bw.WriteString(",\n")
+		if e.Dur > 0 {
+			bw.WriteString(`{"ph":"X","pid":1,"tid":`)
+			bw.WriteString(strconv.Itoa(tids[e.Stream]))
+			bw.WriteString(`,"ts":`)
+			bw.WriteString(usec(e.T))
+			bw.WriteString(`,"dur":`)
+			bw.WriteString(usec(e.Dur))
+		} else {
+			bw.WriteString(`{"ph":"i","pid":1,"tid":`)
+			bw.WriteString(strconv.Itoa(tids[e.Stream]))
+			bw.WriteString(`,"ts":`)
+			bw.WriteString(usec(e.T))
+			bw.WriteString(`,"s":"t"`)
+		}
+		bw.WriteString(`,"cat":"sim","name":`)
+		bw.WriteString(jstr(e.Kind))
+		bw.WriteString(`,"args":{`)
+		for j, a := range e.Attrs {
+			if j > 0 {
+				bw.WriteByte(',')
+			}
+			bw.WriteString(jstr(a.K))
+			bw.WriteByte(':')
+			bw.WriteString(jstr(a.V))
+		}
+		bw.WriteString(`}}`)
+	}
+	bw.WriteString("\n]}\n")
+	return bw.Flush()
+}

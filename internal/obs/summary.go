@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Summary is the post-processed view of a canonical event set: how long
+// the run took, how busy each timeline was, the latency distribution of
+// each span kind, and the chain of spans on the critical path.
+type Summary struct {
+	MakespanNs int64
+	Streams    []StreamUtil
+	Phases     []PhaseStats
+	Critical   CriticalPath
+}
+
+// StreamUtil is one timeline's busy time (union of its spans) and its
+// utilization over the makespan.
+type StreamUtil struct {
+	Stream string
+	BusyNs int64
+	Util   float64
+}
+
+// PhaseStats aggregates all spans of one kind.
+type PhaseStats struct {
+	Kind    string
+	Count   int
+	TotalNs int64
+	P50Ns   int64
+	P95Ns   int64
+	P99Ns   int64
+}
+
+// CriticalPath is the span chain of the stream that finishes last — the
+// timeline an end-to-end speedup must shorten.
+type CriticalPath struct {
+	Stream string
+	EndNs  int64
+	Steps  []CPStep
+}
+
+// CPStep is one span on the critical path.
+type CPStep struct {
+	Kind    string
+	StartNs int64
+	DurNs   int64
+}
+
+// Summarize computes utilization, per-kind span latency percentiles
+// (nearest-rank), and the critical path for a canonical event set.
+func Summarize(evs []Event) Summary {
+	var s Summary
+	perStream := make(map[string][]Event)
+	perKind := make(map[string][]int64)
+	var lastEnd int64
+	lastStream := ""
+	for _, e := range evs {
+		if end := e.End(); end > lastEnd || (end == lastEnd && lastStream == "") {
+			lastEnd = end
+			lastStream = e.Stream
+		}
+		if e.Dur > 0 {
+			perStream[e.Stream] = append(perStream[e.Stream], e)
+			perKind[e.Kind] = append(perKind[e.Kind], e.Dur)
+		}
+	}
+	s.MakespanNs = lastEnd
+
+	streams := make([]string, 0, len(perStream))
+	for st := range perStream {
+		streams = append(streams, st)
+	}
+	sort.Strings(streams)
+	for _, st := range streams {
+		busy := busyTime(perStream[st])
+		u := StreamUtil{Stream: st, BusyNs: busy}
+		if s.MakespanNs > 0 {
+			u.Util = float64(busy) / float64(s.MakespanNs)
+		}
+		s.Streams = append(s.Streams, u)
+	}
+
+	kinds := make([]string, 0, len(perKind))
+	for k := range perKind {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		durs := perKind[k]
+		sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+		var total int64
+		for _, d := range durs {
+			total += d
+		}
+		s.Phases = append(s.Phases, PhaseStats{
+			Kind:    k,
+			Count:   len(durs),
+			TotalNs: total,
+			P50Ns:   percentile(durs, 50),
+			P95Ns:   percentile(durs, 95),
+			P99Ns:   percentile(durs, 99),
+		})
+	}
+
+	if lastStream != "" {
+		s.Critical.Stream = lastStream
+		s.Critical.EndNs = lastEnd
+		for _, e := range perStream[lastStream] {
+			s.Critical.Steps = append(s.Critical.Steps, CPStep{Kind: e.Kind, StartNs: e.T, DurNs: e.Dur})
+		}
+	}
+	return s
+}
+
+// busyTime returns the total length of the union of the spans' intervals
+// (overlaps counted once). evs is in canonical order, so starts ascend.
+func busyTime(evs []Event) int64 {
+	var busy int64
+	var curStart, curEnd int64
+	open := false
+	for _, e := range evs {
+		if !open {
+			curStart, curEnd, open = e.T, e.End(), true
+			continue
+		}
+		if e.T > curEnd {
+			busy += curEnd - curStart
+			curStart, curEnd = e.T, e.End()
+		} else if e.End() > curEnd {
+			curEnd = e.End()
+		}
+	}
+	if open {
+		busy += curEnd - curStart
+	}
+	return busy
+}
+
+// percentile returns the nearest-rank p-th percentile of sorted durations.
+func percentile(sorted []int64, p int) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := (p*len(sorted) + 99) / 100 // ceil(p/100 * n)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// String renders the summary as a fixed-format human-readable report.
+func (s Summary) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "makespan %.3fms\n", float64(s.MakespanNs)/1e6)
+	for _, u := range s.Streams {
+		fmt.Fprintf(&b, "stream %-24s busy %.3fms util %.1f%%\n", u.Stream, float64(u.BusyNs)/1e6, u.Util*100)
+	}
+	for _, p := range s.Phases {
+		fmt.Fprintf(&b, "phase %-16s n=%d total %.3fms p50 %.3fms p95 %.3fms p99 %.3fms\n",
+			p.Kind, p.Count, float64(p.TotalNs)/1e6, float64(p.P50Ns)/1e6, float64(p.P95Ns)/1e6, float64(p.P99Ns)/1e6)
+	}
+	fmt.Fprintf(&b, "critical path: %s ends %.3fms (%d steps)\n", s.Critical.Stream, float64(s.Critical.EndNs)/1e6, len(s.Critical.Steps))
+	return b.String()
+}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/des"
+	"repro/internal/obs"
 )
 
 // JobSpec is one submission to the scheduler.
@@ -262,6 +263,9 @@ func (s *Scheduler) Cancel(id int) bool {
 	}
 	rec.waiting = false
 	rec.cancelled = true
+	if r := s.cl.Obs; r.Enabled() {
+		r.Emit(int64(s.eng.Now()), obs.CatSim, "sched/"+rec.spec.Job.RunName(), "cancel")
+	}
 	return true
 }
 
@@ -324,6 +328,13 @@ func Run(cc cluster.Config, pol Policy, specs []JobSpec) (*ClusterTrace, error) 
 	} else {
 		eng = des.NewEngine()
 	}
+	if cc.Obs.Enabled() {
+		if ss != nil {
+			ss.SetRecorder(cc.Obs)
+		} else {
+			eng.SetRecorder(cc.Obs)
+		}
+	}
 	cl := cluster.New(eng, cc)
 	defer cl.Close()
 	s, err := NewScheduler(eng, cl, pol)
@@ -375,7 +386,7 @@ func (s *Scheduler) admit() {
 			continue
 		}
 		s.queue = append(s.queue[:i], s.queue[i+1:]...)
-		s.start(rec, size)
+		s.start(rec, size, i > 0)
 	}
 }
 
@@ -433,8 +444,10 @@ func (s *Scheduler) gangFor(rec *jobRec) (int, bool) {
 	return 0, false
 }
 
-// start places a gang of size ranks and launches the job on it.
-func (s *Scheduler) start(rec *jobRec, size int) {
+// start places a gang of size ranks and launches the job on it. backfill
+// marks a start from deeper in the queue scan — the policy let this job
+// jump jobs still waiting ahead of it.
+func (s *Scheduler) start(rec *jobRec, size int, backfill bool) {
 	if s.ss != nil {
 		rec.gang, rec.leased = s.placeNodes(size)
 	} else {
@@ -445,6 +458,13 @@ func (s *Scheduler) start(rec *jobRec, size int) {
 	rec.waiting = false
 	rec.running = true
 	s.nRun++
+	if r := s.cl.Obs; r.Enabled() {
+		stream := "sched/" + rec.spec.Job.RunName()
+		r.Span(int64(rec.arrival), int64(rec.admit), obs.CatSim, stream, "queue.wait")
+		r.Emit(int64(rec.admit), obs.CatSim, stream, "place",
+			obs.Int("gang", int64(len(rec.gang))), obs.Int("want", int64(rec.want)),
+			obs.Bool("backfill", backfill))
+	}
 	if s.OnStart != nil {
 		s.OnStart(rec.id, rec.gang)
 	}

@@ -1,0 +1,51 @@
+package serve
+
+import "strconv"
+
+// latencyBuckets are the upper bounds (virtual seconds) of the serve
+// latency histograms. They span sub-millisecond queue waits (small
+// replayed benchmarks) through multi-second services (paper-scale runs),
+// roughly 2.5x apart — the standard Prometheus latency ladder.
+var latencyBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Histogram is a fixed-bucket latency histogram in Prometheus's model:
+// per-bucket counts (exposed cumulatively), a sum, and a total count.
+type Histogram struct {
+	Bounds []float64 // bucket upper bounds, ascending
+	Counts []int64   // len(Bounds)+1: per-bucket, last is the +Inf overflow
+	Sum    float64
+	Count  int64
+}
+
+func newLatencyHistogram() *Histogram {
+	return &Histogram{Bounds: latencyBuckets, Counts: make([]int64, len(latencyBuckets)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.Bounds) && v > h.Bounds[i] {
+		i++
+	}
+	h.Counts[i]++
+	h.Sum += v
+	h.Count++
+}
+
+// clone deep-copies the histogram for a snapshot.
+func (h *Histogram) clone() *Histogram {
+	if h == nil {
+		return nil
+	}
+	out := *h
+	out.Counts = append([]int64(nil), h.Counts...)
+	return &out
+}
+
+// fmtBound renders a bucket bound the way Prometheus clients do: the
+// shortest exact decimal.
+func fmtBound(b float64) string {
+	return strconv.FormatFloat(b, 'g', -1, 64)
+}

@@ -4,24 +4,44 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 )
 
 // WriteMetrics renders the service's counters in Prometheus text
 // exposition format: lifecycle counters, admission rejects by reason,
-// queue/running gauges, per-tenant admission stats, and the cluster-trace
-// aggregates (wire bytes, queue-wait and service-time integrals). Safe
-// from any goroutine.
+// queue/running gauges, queue-wait and service-time histograms,
+// per-tenant admission stats, and the cluster-trace aggregates (wire
+// bytes, queue-wait and service-time integrals). Safe from any goroutine.
 func (sv *Server) WriteMetrics(w io.Writer) {
-	sv.ses.mu.Lock()
-	s := sv.ses.stats.clone()
-	vnow := sv.ses.vnow
-	sv.ses.mu.Unlock()
+	sv.ses.writeMetrics(w)
+}
+
+// writeMetrics is the exposition body, on the mode-independent session so
+// deterministic replays can snapshot the exact text a live scrape would
+// have produced.
+func (ses *session) writeMetrics(w io.Writer) {
+	ses.mu.Lock()
+	s := ses.stats.clone()
+	vnow := ses.vnow
+	ses.mu.Unlock()
 
 	counter := func(name, help string, v any) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %v\n", name, help, name, name, v)
 	}
 	gauge := func(name, help string, v any) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %v\n", name, help, name, name, v)
+	}
+	histogram := func(name, help string, h *Histogram) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+		cum := int64(0)
+		for i, b := range h.Bounds {
+			cum += h.Counts[i]
+			fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", name, fmtBound(b), cum)
+		}
+		cum += h.Counts[len(h.Bounds)]
+		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+		fmt.Fprintf(w, "%s_sum %s\n", name, strconv.FormatFloat(h.Sum, 'g', -1, 64))
+		fmt.Fprintf(w, "%s_count %d\n", name, h.Count)
 	}
 
 	counter("gpmr_serve_submitted_total", "Submissions crossing the service boundary.", s.Submitted)
@@ -37,12 +57,15 @@ func (sv *Server) WriteMetrics(w io.Writer) {
 
 	gauge("gpmr_serve_queue_depth", "Jobs admitted and waiting for a gang.", s.Queued)
 	gauge("gpmr_serve_running", "Jobs currently holding gangs.", s.Running)
-	gauge("gpmr_serve_ranks", "Total GPU ranks in the shared cluster.", sv.ses.cl.Ranks())
+	gauge("gpmr_serve_ranks", "Total GPU ranks in the shared cluster.", ses.cl.Ranks())
 	gauge("gpmr_serve_virtual_time_seconds", "Virtual time of the last state change.", vnow.Seconds())
 
 	counter("gpmr_serve_wire_bytes_total", "Cross-node bytes moved by completed jobs.", s.WireBytes)
 	counter("gpmr_serve_wait_seconds_total", "Queue wait integral over placed jobs.", s.WaitTotal.Seconds())
 	counter("gpmr_serve_service_seconds_total", "Service time integral over placed jobs.", s.ServiceTotal.Seconds())
+
+	histogram("gpmr_serve_wait_seconds", "Queue wait (admit - arrival) of placed jobs, virtual seconds.", s.WaitHist)
+	histogram("gpmr_serve_service_seconds", "Service time (finish - admit) of placed jobs, virtual seconds.", s.ServiceHist)
 
 	tenants := make([]string, 0, len(s.Tenants))
 	for t := range s.Tenants {

@@ -29,6 +29,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/des"
+	"repro/internal/obs"
 	"repro/internal/sched"
 )
 
@@ -136,6 +137,12 @@ type Stats struct {
 	WaitTotal    des.Time // Σ (admit − arrival) over placed jobs
 	ServiceTotal des.Time // Σ (finish − admit) over placed jobs
 
+	// WaitHist and ServiceHist are the bucketed counterparts of the
+	// integrals above, exposed as Prometheus histograms so p50/p95 are
+	// scrapeable without client-side deltas.
+	WaitHist    *Histogram
+	ServiceHist *Histogram
+
 	Tenants map[string]*TenantStats
 }
 
@@ -145,6 +152,8 @@ func (s *Stats) rejected() int64 { return s.RejectedShed + s.RejectedQuota + s.R
 // clone deep-copies the stats for a snapshot.
 func (s *Stats) clone() Stats {
 	out := *s
+	out.WaitHist = s.WaitHist.clone()
+	out.ServiceHist = s.ServiceHist.clone()
 	out.Tenants = make(map[string]*TenantStats, len(s.Tenants))
 	for k, v := range s.Tenants {
 		c := *v
@@ -251,6 +260,13 @@ func newSession(cfg Config) (*session, error) {
 	} else {
 		eng = des.NewEngine()
 	}
+	if cfg.Cluster.Obs.Enabled() {
+		if ss != nil {
+			ss.SetRecorder(cfg.Cluster.Obs)
+		} else {
+			eng.SetRecorder(cfg.Cluster.Obs)
+		}
+	}
 	cl := cluster.New(eng, cfg.Cluster)
 	sch, err := sched.NewScheduler(eng, cl, cfg.Policy)
 	if err != nil {
@@ -270,6 +286,8 @@ func newSession(cfg Config) (*session, error) {
 		serveOf:  make(map[int]int),
 	}
 	ses.stats.Tenants = make(map[string]*TenantStats)
+	ses.stats.WaitHist = newLatencyHistogram()
+	ses.stats.ServiceHist = newLatencyHistogram()
 	if cfg.TraceW != nil {
 		ses.rec = NewTraceWriter(cfg.TraceW, cfg.header())
 	}
@@ -324,6 +342,10 @@ func (ses *session) arrive(now des.Time, req Request) JobInfo {
 	}
 	ses.runnables = append(ses.runnables, nil)
 	ses.schedOf = append(ses.schedOf, -1)
+	if r := ses.cl.Obs; r.Enabled() {
+		r.Emit(int64(now), obs.CatSim, "serve/"+name, "arrive",
+			obs.A("tenant", req.Tenant), obs.A("kind", req.Kind))
+	}
 
 	ses.mu.Lock()
 	defer ses.mu.Unlock()
@@ -333,25 +355,28 @@ func (ses *session) arrive(now des.Time, req Request) JobInfo {
 	ts := ses.tenantStats(req.Tenant)
 	ts.Submitted++
 
-	reject := func(reason string, counter *int64) JobInfo {
+	reject := func(reason, class string, counter *int64) JobInfo {
 		info.Reason = reason
 		*counter = *counter + 1
 		ts.Rejected++
+		if r := ses.cl.Obs; r.Enabled() {
+			r.Emit(int64(now), obs.CatSim, "serve/"+name, "reject", obs.A("reason", class))
+		}
 		return *info
 	}
 
 	run, err := ses.cfg.Catalog.Build(req.Kind, name, req.Params)
 	if err != nil {
-		return reject(err.Error(), &ses.stats.RejectedInvalid)
+		return reject(err.Error(), "invalid", &ses.stats.RejectedInvalid)
 	}
 	info.Want = run.GangWant()
 	if ses.cfg.MaxQueue >= 0 && ses.sch.QueueLen() >= ses.cfg.MaxQueue {
 		return reject(fmt.Sprintf("shed: admission queue full (%d waiting)", ses.sch.QueueLen()),
-			&ses.stats.RejectedShed)
+			"shed", &ses.stats.RejectedShed)
 	}
 	if q := ses.cfg.quotaFor(req.Tenant); q > 0 && ses.inflight[req.Tenant] >= q {
 		return reject(fmt.Sprintf("quota: tenant %q has %d jobs in flight (cap %d)",
-			req.Tenant, ses.inflight[req.Tenant], q), &ses.stats.RejectedQuota)
+			req.Tenant, ses.inflight[req.Tenant], q), "quota", &ses.stats.RejectedQuota)
 	}
 
 	// Admission. Submit synchronously runs the admission scan, so OnStart
@@ -385,7 +410,7 @@ func (ses *session) arrive(now des.Time, req Request) JobInfo {
 		ts.Admitted--
 		ses.inflight[req.Tenant]--
 		ses.runnables[id] = nil
-		return reject(err.Error(), &ses.stats.RejectedInvalid)
+		return reject(err.Error(), "invalid", &ses.stats.RejectedInvalid)
 	}
 	return *info
 }
@@ -402,6 +427,9 @@ func (ses *session) cancel(now des.Time, id int) bool {
 	}
 	if ses.rec != nil {
 		ses.rec.Cancel(Cancel{Seq: id, At: now})
+	}
+	if r := ses.cl.Obs; r.Enabled() {
+		r.Emit(int64(now), obs.CatSim, "serve/"+info.Name, "cancel")
 	}
 	ses.runnables[id] = nil
 	ses.mu.Lock()
@@ -457,6 +485,18 @@ func (ses *session) onDone(schedID int, tr *core.Trace, err error) {
 	ses.inflight[info.Tenant]--
 	ses.stats.WaitTotal += info.Admit - info.Arrival
 	ses.stats.ServiceTotal += now - info.Admit
+	ses.stats.WaitHist.Observe((info.Admit - info.Arrival).Seconds())
+	ses.stats.ServiceHist.Observe((now - info.Admit).Seconds())
+	if r := ses.cl.Obs; r.Enabled() {
+		stream := "serve/" + info.Name
+		r.Span(int64(info.Arrival), int64(info.Admit), obs.CatSim, stream, "job.wait")
+		state := Done
+		if err != nil {
+			state = Failed
+		}
+		r.Span(int64(info.Admit), int64(now), obs.CatSim, stream, "job.run",
+			obs.A("state", state.String()), obs.Int("gang", int64(info.Granted)))
+	}
 	if err != nil {
 		info.State = Failed
 		info.Status = Failed.String()
@@ -698,6 +738,10 @@ type ReplayOptions struct {
 	// the paper's default testbed from it; a live run on non-default
 	// hardware properties must supply the same cluster here.
 	Cluster *cluster.Config
+	// Obs, when set, records the replay's flight-recorder trace (see
+	// internal/obs). Recording does not perturb the replay: reports stay
+	// byte-identical with and without it.
+	Obs *obs.Recorder
 }
 
 // Replay feeds a recorded arrival trace through the identical admission
@@ -707,9 +751,20 @@ type ReplayOptions struct {
 // byte-identical to the live run's, and to any other replay of the same
 // trace.
 func Replay(tr *Trace, opt ReplayOptions) (*Report, error) {
-	pol, err := tr.Header.policy()
+	ses, makespan, err := replaySession(tr, opt)
 	if err != nil {
 		return nil, err
+	}
+	return ses.report(makespan), nil
+}
+
+// replaySession runs a replay to completion and returns the drained
+// session, so internal callers (tests, timeline snapshots) can inspect
+// more than the report. The cluster is already closed on return.
+func replaySession(tr *Trace, opt ReplayOptions) (*session, des.Time, error) {
+	pol, err := tr.Header.policy()
+	if err != nil {
+		return nil, 0, err
 	}
 	cc := cluster.DefaultConfig(tr.Header.GPUs)
 	if opt.Cluster != nil {
@@ -725,6 +780,9 @@ func Replay(tr *Trace, opt ReplayOptions) (*Report, error) {
 	if opt.Cluster == nil || opt.Shards != 0 {
 		cc.Shards = opt.Shards
 	}
+	if opt.Obs != nil {
+		cc.Obs = opt.Obs
+	}
 	cat := opt.Catalog
 	if cat == nil {
 		cat = DefaultCatalog(tr.Header.PhysBudget)
@@ -739,7 +797,7 @@ func Replay(tr *Trace, opt ReplayOptions) (*Report, error) {
 	}.withDefaults()
 	ses, err := newSession(cfg)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	defer ses.cl.Close()
 	events := tr.Events
@@ -760,5 +818,5 @@ func Replay(tr *Trace, opt ReplayOptions) (*Report, error) {
 		}
 	})
 	makespan := ses.run()
-	return ses.report(makespan), nil
+	return ses, makespan, nil
 }

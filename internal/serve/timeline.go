@@ -1,0 +1,52 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// ErrNoRecorder reports a timeline request against a server started
+// without a flight recorder (Config.Cluster.Obs unset).
+var ErrNoRecorder = fmt.Errorf("serve: no flight recorder configured")
+
+// WriteTimeline renders one job's slice of the flight-recorder trace as
+// Chrome trace-event JSON (load in Perfetto or chrome://tracing): its
+// serve lifecycle stream, its scheduler stream, and its per-rank phase
+// streams. Safe from any goroutine; the recorder snapshots events
+// emitted so far, so a running job yields a partial timeline.
+func (sv *Server) WriteTimeline(w io.Writer, id int) error {
+	info, ok := sv.Job(id)
+	if !ok {
+		return fmt.Errorf("serve: no job %d", id)
+	}
+	return sv.ses.writeTimeline(w, info.Name)
+}
+
+// writeTimeline is the session half, shared with replay-driven tests.
+func (ses *session) writeTimeline(w io.Writer, name string) error {
+	r := ses.cl.Obs
+	if !r.Enabled() {
+		return ErrNoRecorder
+	}
+	return r.WriteChromeFiltered(w, func(stream string) bool {
+		return stream == "serve/"+name || stream == "sched/"+name ||
+			strings.HasPrefix(stream, name+"/r")
+	})
+}
+
+// WriteTrace renders the full flight-recorder trace: every stream, as
+// Chrome trace-event JSON.
+func (sv *Server) WriteTrace(w io.Writer) error {
+	r := sv.ses.cl.Obs
+	if !r.Enabled() {
+		return ErrNoRecorder
+	}
+	return r.WriteChrome(w)
+}
+
+// Recorder exposes the server's flight recorder (nil when not
+// configured), for exports beyond the built-in endpoints.
+func (sv *Server) Recorder() *obs.Recorder { return sv.ses.cl.Obs }

@@ -49,9 +49,28 @@ for i in $(seq 1 200); do
   sleep 0.1
 done
 
-# Metrics sanity while the daemon is still up.
-curl -fsS "$base/metrics" | grep -q '^gpmr_serve_done_total 4'
-curl -fsS "$base/metrics" | grep -q 'gpmr_serve_rejected_total{reason="invalid"} 1'
+# Metrics sanity while the daemon is still up: counters, and the latency
+# histograms' cumulative +Inf buckets must equal the placed-job count.
+# (Snapshot to a file: `curl | grep -q` SIGPIPEs curl when grep exits at
+# the first match.)
+curl -fsS "$base/metrics" >"$workdir/metrics.txt"
+grep -q '^gpmr_serve_done_total 4' "$workdir/metrics.txt"
+grep -q 'gpmr_serve_rejected_total{reason="invalid"} 1' "$workdir/metrics.txt"
+grep -q 'gpmr_serve_wait_seconds_bucket{le="+Inf"} 4' "$workdir/metrics.txt"
+grep -q '^gpmr_serve_service_seconds_count 4' "$workdir/metrics.txt"
+
+# Per-job timeline: valid Chrome trace-event JSON with this job's lanes.
+curl -fsS "$base/jobs/0/timeline" >"$workdir/timeline.json"
+python3 - "$workdir/timeline.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+evs = doc["traceEvents"]
+lanes = [e["args"]["name"] for e in evs if e.get("name") == "thread_name"]
+assert any(l.startswith("serve/") for l in lanes), lanes
+assert any(e.get("ph") == "X" for e in evs), "no spans in timeline"
+EOF
+# An unknown job is a clean 404.
+[ "$(curl -sS -o /dev/null -w '%{http_code}' "$base/jobs/99/timeline")" = 404 ]
 
 kill -INT "$pid"
 wait "$pid"
