@@ -188,6 +188,14 @@ func main() {
 			bench.RenderOnline(out, rows)
 			return nil
 		}},
+		{"fleet", "consistent-hash fleet routing: plain vs bounded-load", func() error {
+			rows, err := bench.Fleet(o)
+			if err != nil {
+				return err
+			}
+			bench.RenderFleet(out, rows)
+			return nil
+		}},
 	}
 
 	names := make([]string, 0, len(experiments))

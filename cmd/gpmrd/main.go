@@ -5,22 +5,27 @@
 // load the cluster cannot absorb; and every arrival is recorded to a
 // trace that replays byte-identically through the offline path.
 //
-// Endpoints:
+// Endpoints (see serve.NewHandler):
 //
 //	POST   /jobs                 submit {"tenant","kind","params",...} → 202 JobInfo
 //	GET    /jobs                 list all job records
 //	GET    /jobs/{id}            one job record
 //	GET    /jobs/{id}/timeline   the job's flight-recorder timeline (Chrome trace JSON)
+//	GET    /jobs/{id}/output     a completed job's canonical output text
 //	DELETE /jobs/{id}            cancel a queued job
 //	GET    /metrics              Prometheus text exposition (counters + histograms)
-//	GET    /healthz              liveness
+//	GET    /healthz              liveness: 200 "ok", or 503 "draining"
+//	POST   /fleet/register       gpmrfleet registration handshake
+//	POST   /drain                drain handshake: answers with the final report
 //
 // With -debug-addr set, a second listener serves net/http/pprof under
 // /debug/pprof and expvar under /debug/vars.
 //
-// Shutdown (SIGINT/SIGTERM) stops admissions, waits for every admitted
-// job to finish, writes the arrival trace, and prints the final report
-// to stdout. Replaying that trace:
+// Shutdown (SIGINT/SIGTERM or POST /drain) shuts the HTTP listener down
+// gracefully — in-flight submissions get terminal answers, never
+// connection resets — then waits for every admitted job to finish,
+// writes the arrival trace, and prints the final report to stdout.
+// Replaying that trace:
 //
 //	gpmrd -replay trace.jsonl
 //
@@ -28,8 +33,7 @@
 package main
 
 import (
-	"bytes"
-	"encoding/json"
+	"context"
 	_ "expvar" // register /debug/vars on the debug mux
 	"flag"
 	"fmt"
@@ -38,9 +42,8 @@ import (
 	_ "net/http/pprof" // register /debug/pprof on the debug mux
 	"os"
 	"os/signal"
-	"strconv"
-	"strings"
 	"syscall"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/obs"
@@ -60,9 +63,14 @@ func main() {
 	workers := flag.Int("workers", 0, "kernel-execution workers (see gpmrbench -workers)")
 	shards := flag.Int("shards", 0, "DES engine shards (see gpmrbench -shards)")
 	phys := flag.Int("phys", 1<<16, "physical element budget per job")
+	keep := flag.Int("keep-outputs", 16, "retain canonical outputs of the N most recent completed jobs (0 = off)")
+	shardID := flag.String("shard-id", "", "fleet shard identity (normally stamped by gpmrfleet registration)")
+	ringEpoch := flag.Int("ring-epoch", 0, "fleet ring epoch joined at (with -shard-id)")
+	jobTable := flag.String("jobtable", "", "append the final job table (JSONL) to this file at drain")
 	tracePath := flag.String("trace", "", "record the arrival trace to this file (JSONL)")
 	replayPath := flag.String("replay", "", "replay a recorded trace offline and print the report")
 	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof and expvar on this address (e.g. 127.0.0.1:8374)")
+	grace := flag.Duration("shutdown-grace", 10*time.Second, "graceful HTTP shutdown window for in-flight requests")
 	flag.Parse()
 
 	if *debugAddr != "" {
@@ -81,7 +89,13 @@ func main() {
 		}
 		return
 	}
-	if err := live(*addr, *gpus, *perNode, *policy, *share, *queue, *quota, *scale, *workers, *shards, *phys, *tracePath); err != nil {
+	opts := liveOptions{
+		addr: *addr, gpus: *gpus, perNode: *perNode, policy: *policy, share: *share,
+		queue: *queue, quota: *quota, scale: *scale, workers: *workers, shards: *shards,
+		phys: *phys, keepOutputs: *keep, shardID: *shardID, ringEpoch: *ringEpoch,
+		jobTable: *jobTable, tracePath: *tracePath, grace: *grace,
+	}
+	if err := live(opts); err != nil {
 		log.Fatalf("gpmrd: %v", err)
 	}
 }
@@ -114,126 +128,98 @@ func parsePolicy(name string, share int) (sched.Policy, error) {
 	return sched.Policy{Kind: k, Share: share}, nil
 }
 
-func live(addr string, gpus, perNode int, policy string, share, queue, quota int, scale float64, workers, shards, phys int, tracePath string) error {
-	pol, err := parsePolicy(policy, share)
+// lazyFile defers file creation to the first write, so a daemon that
+// fails before recording anything never leaves a truncated trace file
+// behind.
+type lazyFile struct {
+	path string
+	f    *os.File
+	err  error
+}
+
+func (l *lazyFile) Write(p []byte) (int, error) {
+	if l.err != nil {
+		return 0, l.err
+	}
+	if l.f == nil {
+		if l.f, l.err = os.Create(l.path); l.err != nil {
+			return 0, l.err
+		}
+	}
+	return l.f.Write(p)
+}
+
+// Close closes the file if it was ever created.
+func (l *lazyFile) Close() error {
+	if l.f == nil {
+		return nil
+	}
+	return l.f.Close()
+}
+
+type liveOptions struct {
+	addr, policy, shardID, jobTable, tracePath    string
+	gpus, perNode, share, queue, quota            int
+	workers, shards, phys, keepOutputs, ringEpoch int
+	scale                                         float64
+	grace                                         time.Duration
+}
+
+func live(o liveOptions) error {
+	pol, err := parsePolicy(o.policy, o.share)
 	if err != nil {
 		return err
 	}
-	cc := cluster.DefaultConfig(gpus)
-	if perNode > 0 {
-		cc.GPUsPerNode = perNode
+	cc := cluster.DefaultConfig(o.gpus)
+	if o.perNode > 0 {
+		cc.GPUsPerNode = o.perNode
 	}
-	cc.Workers = workers
-	cc.Shards = shards
+	cc.Workers = o.workers
+	cc.Shards = o.shards
 	// The live daemon always carries a flight recorder: it feeds the
 	// per-job timeline endpoint and recording never perturbs virtual time.
 	cc.Obs = obs.New()
 
-	var traceF *os.File
 	cfg := serve.Config{
-		Cluster:   cc,
-		Policy:    pol,
-		Catalog:   serve.DefaultCatalog(phys),
-		MaxQueue:  queue,
-		Quota:     quota,
-		TimeScale: scale,
+		Cluster:     cc,
+		Policy:      pol,
+		Catalog:     serve.DefaultCatalog(o.phys),
+		MaxQueue:    o.queue,
+		Quota:       o.quota,
+		TimeScale:   o.scale,
+		KeepOutputs: o.keepOutputs,
 	}
-	if tracePath != "" {
-		traceF, err = os.Create(tracePath)
-		if err != nil {
-			return err
-		}
+	var traceF *lazyFile
+	if o.tracePath != "" {
+		// Lazily created on the first trace write — which can only happen
+		// once Start has succeeded — and closed on every exit path.
+		traceF = &lazyFile{path: o.tracePath}
 		cfg.TraceW = traceF
+		defer func() {
+			if err := traceF.Close(); err != nil {
+				log.Printf("gpmrd: closing trace file: %v", err)
+			}
+		}()
 	}
 	sv, err := serve.Start(cfg)
 	if err != nil {
 		return err
 	}
+	if o.shardID != "" {
+		if err := sv.SetFleet(o.shardID, o.ringEpoch); err != nil {
+			return err
+		}
+	}
 
-	mux := http.NewServeMux()
-	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
-		var req serve.Request
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
-			return
-		}
-		info, err := sv.Submit(req)
-		if err != nil {
-			httpError(w, http.StatusServiceUnavailable, err.Error())
-			return
-		}
-		switch {
-		case info.State != serve.Rejected:
-			writeJSON(w, http.StatusAccepted, info)
-		case strings.HasPrefix(info.Reason, "shed:") || strings.HasPrefix(info.Reason, "quota:"):
-			// Backpressure: the client should retry later, with the full
-			// record so it can see queue state in the reason.
-			w.Header().Set("Retry-After", "1")
-			writeJSON(w, http.StatusTooManyRequests, info)
-		default:
-			writeJSON(w, http.StatusBadRequest, info)
-		}
-	})
-	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, sv.Jobs())
-	})
-	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
-		id, err := strconv.Atoi(r.PathValue("id"))
-		if err != nil {
-			httpError(w, http.StatusBadRequest, "bad job id")
-			return
-		}
-		info, ok := sv.Job(id)
-		if !ok {
-			httpError(w, http.StatusNotFound, "no such job")
-			return
-		}
-		writeJSON(w, http.StatusOK, info)
-	})
-	mux.HandleFunc("DELETE /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
-		id, err := strconv.Atoi(r.PathValue("id"))
-		if err != nil {
-			httpError(w, http.StatusBadRequest, "bad job id")
-			return
-		}
-		ok, err := sv.Cancel(id)
-		if err != nil {
-			httpError(w, http.StatusServiceUnavailable, err.Error())
-			return
-		}
-		if !ok {
-			httpError(w, http.StatusConflict, "job is not queued (already running, finished, or unknown)")
-			return
-		}
-		writeJSON(w, http.StatusOK, map[string]bool{"cancelled": true})
-	})
-	mux.HandleFunc("GET /jobs/{id}/timeline", func(w http.ResponseWriter, r *http.Request) {
-		id, err := strconv.Atoi(r.PathValue("id"))
-		if err != nil {
-			httpError(w, http.StatusBadRequest, "bad job id")
-			return
-		}
-		// Buffer so a missing job can still become a clean 404.
-		var buf bytes.Buffer
-		if err := sv.WriteTimeline(&buf, id); err != nil {
-			httpError(w, http.StatusNotFound, err.Error())
-			return
-		}
-		w.Header().Set("Content-Type", "application/json")
-		w.Write(buf.Bytes())
-	})
-	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-		sv.WriteMetrics(w)
-	})
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprintln(w, "ok")
-	})
-
-	srv := &http.Server{Addr: addr, Handler: mux}
+	// The drain endpoint and POSIX signals converge on one stop channel;
+	// either way the listener shuts down gracefully before sv.Drain, so
+	// accepted submissions reach the admission path and get answers.
+	stop := make(chan struct{})
+	h := serve.NewHandler(sv, serve.HandlerConfig{OnDrain: func() { close(stop) }})
+	srv := &http.Server{Addr: o.addr, Handler: h}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("gpmrd: serving %d GPUs (%d/node) under %s on %s", gpus, cc.GPUsPerNode, pol.Kind, addr)
+	log.Printf("gpmrd: serving %d GPUs (%d/node) under %s on %s", o.gpus, cc.GPUsPerNode, pol.Kind, o.addr)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
@@ -242,19 +228,28 @@ func live(addr string, gpus, perNode int, policy string, share, queue, quota int
 		return err
 	case s := <-sig:
 		log.Printf("gpmrd: %v — draining", s)
+	case <-stop:
+		log.Printf("gpmrd: drain requested — shutting down")
 	}
-	if err := srv.Close(); err != nil {
-		log.Printf("gpmrd: closing http: %v", err)
+	// Graceful shutdown: stop accepting connections but let in-flight
+	// requests finish (a racing POST /jobs gets its 202/429/503, never a
+	// connection reset). srv.Close would abort them mid-write.
+	ctx, cancel := context.WithTimeout(context.Background(), o.grace)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("gpmrd: http shutdown: %v", err)
 	}
 	rep, err := sv.Drain()
 	if err != nil {
 		return err
 	}
 	if traceF != nil {
-		if err := traceF.Close(); err != nil {
-			return err
+		log.Printf("gpmrd: arrival trace written to %s", o.tracePath)
+	}
+	if o.jobTable != "" {
+		if err := writeJobTable(sv, o.jobTable); err != nil {
+			log.Printf("gpmrd: writing job table: %v", err)
 		}
-		log.Printf("gpmrd: arrival trace written to %s", tracePath)
 	}
 	// The report is the only thing on stdout: a replay of the recorded
 	// trace must print byte-identical text.
@@ -262,14 +257,16 @@ func live(addr string, gpus, perNode int, policy string, share, queue, quota int
 	return nil
 }
 
-func writeJSON(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(v)
-}
-
-func httpError(w http.ResponseWriter, code int, msg string) {
-	writeJSON(w, code, map[string]string{"error": msg})
+// writeJobTable appends the drained job table to path, preserving prior
+// incarnations' records — the restartable history a shard leaves behind.
+func writeJobTable(sv *serve.Server, path string) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	if err := sv.WriteJobTable(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"bufio"
 	"encoding/binary"
 	"fmt"
 	"hash/fnv"
+	"io"
 
 	"repro/internal/keyval"
 )
@@ -58,4 +60,36 @@ func (s *Scheduled[V]) OutputDigest() (uint64, bool) {
 		return 0, false
 	}
 	return s.Result.Digest(), true
+}
+
+// OutputRenderer is the optional face of a Runnable whose completed
+// output can be rendered as canonical text — the serving layer's
+// output-retrieval endpoint uses it so a fleet router can proxy results
+// without the shard retaining live Result structures.
+type OutputRenderer interface {
+	// RenderOutput writes the job's final output as canonical text, and
+	// fails while the job has not completed.
+	RenderOutput(w io.Writer) error
+}
+
+// RenderOutput implements OutputRenderer for a scheduled job: one line
+// per pair, gathered output first, then every reduce partition in
+// partition order — the same canonical ordering Digest hashes. Values
+// render through fmt's %v, exactly as they digest, so two jobs render
+// identical text iff their digests match.
+func (s *Scheduled[V]) RenderOutput(w io.Writer) error {
+	if s.Result == nil {
+		return fmt.Errorf("core: job %q has no result to render", s.Job.Config.Name)
+	}
+	bw := bufio.NewWriter(w)
+	writePairs := func(label string, p *keyval.Pairs[V]) {
+		for i, k := range p.Keys {
+			fmt.Fprintf(bw, "%s %d %v\n", label, k, p.Vals[i])
+		}
+	}
+	writePairs("out", &s.Result.Output)
+	for i := range s.Result.PerRank {
+		writePairs(fmt.Sprintf("r%d", i), &s.Result.PerRank[i])
+	}
+	return bw.Flush()
 }

@@ -1,0 +1,997 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// Shard names one gpmrd backend.
+type Shard struct {
+	ID  string `json:"id"`
+	URL string `json:"url"` // base URL, e.g. http://127.0.0.1:8373
+}
+
+// Config shapes one router.
+type Config struct {
+	Shards []Shard
+
+	// Replicas is the virtual-node count per shard on the hash ring
+	// (default DefaultReplicas).
+	Replicas int
+	// LoadFactor is the bounded-load factor c: a shard's in-flight load
+	// may exceed its fair share by at most c×. 0 defaults to 1.25;
+	// negative disables the bound (plain consistent hashing).
+	LoadFactor float64
+
+	// ProbeInterval is the health-check cadence (default 500ms); each
+	// probe times out after ProbeTimeout (default 2s). FailAfter
+	// consecutive failures mark a shard down (default 3).
+	ProbeInterval time.Duration
+	ProbeTimeout  time.Duration
+	FailAfter     int
+
+	// SubmitRetries is how many times one proxied submission is retried
+	// against the same shard on transport errors or transient 5xx before
+	// the router fails over to the next ring candidate (default 2), with
+	// RetryBackoff between tries, doubling (default 25ms). SubmitTimeout
+	// bounds each try (default 15s).
+	SubmitRetries int
+	RetryBackoff  time.Duration
+	SubmitTimeout time.Duration
+
+	// SkewThreshold triggers queue rebalancing: when the deepest shard
+	// queue exceeds the shallowest by at least this many jobs, one queued
+	// job is stolen per probe cycle. 0 defaults to 4; negative disables.
+	SkewThreshold int
+
+	// DrainTimeout bounds each shard's drain handshake (default 120s).
+	DrainTimeout time.Duration
+
+	// Client overrides the HTTP client (timeouts come from per-request
+	// contexts, not the client).
+	Client *http.Client
+	// Logf receives router diagnostics. Defaults to log.Printf.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Replicas <= 0 {
+		c.Replicas = DefaultReplicas
+	}
+	if c.LoadFactor == 0 {
+		c.LoadFactor = 1.25
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 500 * time.Millisecond
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = 2 * time.Second
+	}
+	if c.FailAfter <= 0 {
+		c.FailAfter = 3
+	}
+	if c.SubmitRetries <= 0 {
+		c.SubmitRetries = 2
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 25 * time.Millisecond
+	}
+	if c.SubmitTimeout <= 0 {
+		c.SubmitTimeout = 15 * time.Second
+	}
+	if c.SkewThreshold == 0 {
+		c.SkewThreshold = 4
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 120 * time.Second
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{}
+	}
+	if c.Logf == nil {
+		c.Logf = log.Printf
+	}
+	return c
+}
+
+// Shard states as the router sees them.
+const (
+	shardUp       = "up"
+	shardDraining = "draining"
+	shardDown     = "down"
+)
+
+// shardRT is the router's live view of one shard.
+type shardRT struct {
+	Shard
+	state   string
+	fails   int // consecutive probe failures
+	lastErr string
+	routed  int64 // accepted submissions ever routed here
+}
+
+// FleetJob is the router's record of one fleet-level submission: where
+// it currently lives and the router's last known state for it.
+type FleetJob struct {
+	ID      int          `json:"id"`  // fleet job id
+	Tag     string       `json:"tag"` // correlation key, echoed by shards
+	Tenant  string       `json:"tenant"`
+	Kind    string       `json:"kind"`
+	Params  serve.Params `json:"params,omitempty"`
+	Weight  int          `json:"weight,omitempty"`
+	MinGang int          `json:"minGang,omitempty"`
+
+	Shard    string `json:"shard,omitempty"`  // owning shard
+	ShardJob int    `json:"shardJob"`         // id on the owning shard
+	State    string `json:"state"`            // router's last known state
+	Reason   string `json:"reason,omitempty"` // terminal reason, if any
+	Attempts int    `json:"attempts"`         // submissions incl. failovers and steals
+	Digest   string `json:"digest,omitempty"` // canonical output digest once done
+}
+
+// terminal reports whether a fleet job needs no further routing.
+func (j *FleetJob) terminal() bool {
+	switch j.State {
+	case "done", "failed", "cancelled", "rejected":
+		return true
+	}
+	return false
+}
+
+// stateSubmitted marks a job whose submission is in flight; the
+// submitting goroutine owns it until a shard answers, so failover skips
+// it (the submitter's own retry path reroutes).
+const stateSubmitted = "submitted"
+
+type routerStats struct {
+	submitted   int64 // fleet-level submissions
+	accepted    int64 // routed to a shard, 202
+	rejected    int64 // shard said 429/400
+	unrouted    int64 // no live shard could take it, 503
+	retries     int64 // same-shard submission retries
+	reroutes    int64 // submissions moved to another ring candidate
+	failovers   int64 // jobs re-admitted after a shard loss
+	lost        int64 // jobs that could not be re-admitted anywhere
+	steals      int64 // queued jobs rebalanced away from a deep shard
+	transitions int64 // ring membership changes (epoch bumps)
+}
+
+// Router is the fleet front door.
+type Router struct {
+	cfg  Config
+	ring *Ring
+
+	mu      sync.Mutex
+	shards  map[string]*shardRT
+	order   []string // shard ids, sorted — deterministic iteration
+	jobs    []*FleetJob
+	byTag   map[string]*FleetJob
+	epoch   int
+	nextTag int
+	stats   routerStats
+
+	draining atomic.Bool
+	stopc    chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+
+	drainOnce  sync.Once
+	drainResps []serve.DrainResponse
+	drainErr   error
+}
+
+// New builds a router over the configured shards.
+func New(cfg Config) (*Router, error) {
+	cfg = cfg.withDefaults()
+	ids := make([]string, 0, len(cfg.Shards))
+	for _, s := range cfg.Shards {
+		if s.URL == "" {
+			return nil, fmt.Errorf("fleet: shard %q has no URL", s.ID)
+		}
+		ids = append(ids, s.ID)
+	}
+	ring, err := NewRing(ids, cfg.Replicas)
+	if err != nil {
+		return nil, err
+	}
+	rt := &Router{
+		cfg:    cfg,
+		ring:   ring,
+		shards: make(map[string]*shardRT, len(cfg.Shards)),
+		byTag:  make(map[string]*FleetJob),
+		stopc:  make(chan struct{}),
+	}
+	for _, s := range cfg.Shards {
+		rt.shards[s.ID] = &shardRT{Shard: s, state: shardUp}
+		rt.order = append(rt.order, s.ID)
+	}
+	sort.Strings(rt.order)
+	return rt, nil
+}
+
+// Start registers the router with every shard (stamping the fleet trace
+// headers), adopts any tagged jobs the shards already hold (router
+// restart), and begins health probing.
+func (rt *Router) Start() {
+	for _, id := range rt.order {
+		rt.register(id)
+	}
+	rt.recover()
+	rt.wg.Add(1)
+	go rt.probeLoop()
+}
+
+// Stop halts the probe loop without draining the shards (tests).
+func (rt *Router) Stop() {
+	rt.stopOnce.Do(func() { close(rt.stopc) })
+	rt.wg.Wait()
+}
+
+// Epoch returns the current ring epoch.
+func (rt *Router) Epoch() int {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.epoch
+}
+
+// register performs the registration handshake with one shard.
+func (rt *Router) register(id string) {
+	rt.mu.Lock()
+	s := rt.shards[id]
+	url := s.URL
+	epoch := rt.epoch
+	rt.mu.Unlock()
+	body, _ := json.Marshal(serve.FleetRegistration{Shard: id, Epoch: epoch})
+	resp, err := rt.do(http.MethodPost, url+"/fleet/register", body, rt.cfg.ProbeTimeout)
+	if err != nil {
+		rt.cfg.Logf("fleet: registering shard %s: %v", id, err)
+		return
+	}
+	defer drainBody(resp)
+	if resp.StatusCode != http.StatusOK {
+		rt.cfg.Logf("fleet: registering shard %s: status %d", id, resp.StatusCode)
+	}
+}
+
+// recover rebuilds the fleet job table from the shards' own job tables,
+// matching on tags — the restartable-router seam.
+func (rt *Router) recover() {
+	for _, id := range rt.order {
+		rt.mu.Lock()
+		url := rt.shards[id].URL
+		rt.mu.Unlock()
+		infos, err := rt.listJobs(url)
+		if err != nil {
+			continue
+		}
+		rt.mu.Lock()
+		for _, info := range infos {
+			if info.Tag == "" || rt.byTag[info.Tag] != nil {
+				continue
+			}
+			job := &FleetJob{
+				ID: len(rt.jobs), Tag: info.Tag, Tenant: info.Tenant, Kind: info.Kind,
+				Params: info.Params, Shard: id, ShardJob: info.ID,
+				State: info.Status, Reason: info.Reason, Attempts: 1,
+			}
+			rt.jobs = append(rt.jobs, job)
+			rt.byTag[info.Tag] = job
+			// Keep fresh tags clear of adopted ones ("f<n>").
+			if n, ok := strings.CutPrefix(info.Tag, "f"); ok {
+				if v, err := strconv.Atoi(n); err == nil && v >= rt.nextTag {
+					rt.nextTag = v + 1
+				}
+			}
+		}
+		rt.mu.Unlock()
+	}
+}
+
+// SubmitStatus is a routed submission's outcome, mirroring the HTTP
+// status the front door surfaces.
+type SubmitStatus struct {
+	Code  int           // 202, 400, 429, or 503
+	Job   FleetJob      // the fleet record (zero Job.Tag when nothing was recorded)
+	Shard serve.JobInfo // the owning shard's record, when a shard answered
+	Err   string        // router-level error, when Code is 503
+}
+
+// Submit routes one submission onto the fleet: bounded-load consistent
+// hash on the tenant, retry with backoff against the picked shard, and
+// failover to the next ring candidate when a shard cannot answer.
+func (rt *Router) Submit(req serve.Request) SubmitStatus {
+	if rt.draining.Load() {
+		return SubmitStatus{Code: http.StatusServiceUnavailable, Err: "fleet: router is draining"}
+	}
+	rt.mu.Lock()
+	rt.stats.submitted++
+	if req.Tag == "" {
+		req.Tag = fmt.Sprintf("f%d", rt.nextTag)
+		rt.nextTag++
+	}
+	job := &FleetJob{
+		ID: len(rt.jobs), Tag: req.Tag, Tenant: req.Tenant, Kind: req.Kind,
+		Params: req.Params, Weight: req.Weight, MinGang: req.MinGang,
+		State: stateSubmitted,
+	}
+	rt.jobs = append(rt.jobs, job)
+	rt.byTag[req.Tag] = job
+	rt.mu.Unlock()
+
+	info, code, shardID, err := rt.route(req, nil)
+
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	switch {
+	case err != nil:
+		job.State = "rejected"
+		job.Reason = err.Error()
+		rt.stats.unrouted++
+		return SubmitStatus{Code: http.StatusServiceUnavailable, Job: *job, Err: err.Error()}
+	case code == http.StatusAccepted:
+		job.Shard = shardID
+		job.ShardJob = info.ID
+		job.State = info.Status
+		job.Attempts++
+		rt.stats.accepted++
+		rt.shards[shardID].routed++
+		return SubmitStatus{Code: code, Job: *job, Shard: info}
+	default: // 429 or 400 from the shard: an explicit, terminal answer
+		job.Shard = shardID
+		job.ShardJob = info.ID
+		job.State = "rejected"
+		job.Reason = info.Reason
+		job.Attempts++
+		rt.stats.rejected++
+		return SubmitStatus{Code: code, Job: *job, Shard: info}
+	}
+}
+
+// route picks shards along the ring until one gives a terminal answer.
+// exclude lists shards already tried (or known dead) this routing.
+func (rt *Router) route(req serve.Request, exclude map[string]bool) (serve.JobInfo, int, string, error) {
+	if exclude == nil {
+		exclude = make(map[string]bool)
+	}
+	for hop := 0; ; hop++ {
+		rt.mu.Lock()
+		eligible := make(map[string]int)
+		for id, s := range rt.shards {
+			if s.state == shardUp && !exclude[id] {
+				eligible[id] = 0
+			}
+		}
+		for _, j := range rt.jobs {
+			if _, ok := eligible[j.Shard]; ok && !j.terminal() {
+				eligible[j.Shard]++
+			}
+		}
+		rt.mu.Unlock()
+		shard, ok := rt.ring.Pick(req.Tenant, eligible, rt.cfg.LoadFactor)
+		if !ok {
+			return serve.JobInfo{}, 0, "", errors.New("fleet: no live shard can take the job")
+		}
+		if hop > 0 {
+			rt.mu.Lock()
+			rt.stats.reroutes++
+			rt.mu.Unlock()
+		}
+		info, code, err := rt.postJob(shard, req)
+		if err != nil {
+			// Transport failure after retries: let the prober see it too,
+			// and move to the next ring candidate.
+			rt.noteFailure(shard, err)
+			exclude[shard] = true
+			continue
+		}
+		if code == http.StatusServiceUnavailable {
+			// The shard answered but is draining: reroute, don't retry it.
+			rt.markDraining(shard)
+			exclude[shard] = true
+			continue
+		}
+		return info, code, shard, nil
+	}
+}
+
+// postJob posts one submission to one shard with retry/backoff on
+// transport errors and transient 5xx.
+func (rt *Router) postJob(shardID string, req serve.Request) (serve.JobInfo, int, error) {
+	rt.mu.Lock()
+	url := rt.shards[shardID].URL
+	rt.mu.Unlock()
+	body, err := json.Marshal(req)
+	if err != nil {
+		return serve.JobInfo{}, 0, err
+	}
+	backoff := rt.cfg.RetryBackoff
+	var lastErr error
+	for try := 0; try <= rt.cfg.SubmitRetries; try++ {
+		if try > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+			rt.mu.Lock()
+			rt.stats.retries++
+			rt.mu.Unlock()
+		}
+		resp, err := rt.do(http.MethodPost, url+"/jobs", body, rt.cfg.SubmitTimeout)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		code := resp.StatusCode
+		if code >= 500 && code != http.StatusServiceUnavailable {
+			drainBody(resp)
+			lastErr = fmt.Errorf("fleet: shard %s answered %d", shardID, code)
+			continue
+		}
+		var info serve.JobInfo
+		if code != http.StatusServiceUnavailable {
+			if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+				drainBody(resp)
+				lastErr = fmt.Errorf("fleet: decoding shard %s answer: %w", shardID, err)
+				continue
+			}
+		}
+		drainBody(resp)
+		return info, code, nil
+	}
+	return serve.JobInfo{}, 0, lastErr
+}
+
+// probeLoop is the router's heartbeat: health-check every shard, scrape
+// job states, fail over lost shards, rebalance skewed queues.
+func (rt *Router) probeLoop() {
+	defer rt.wg.Done()
+	ticker := time.NewTicker(rt.cfg.ProbeInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-rt.stopc:
+			return
+		case <-ticker.C:
+			dead := rt.probeAll()
+			rt.refresh()
+			for _, id := range dead {
+				rt.failover(id)
+			}
+			rt.rebalance()
+		}
+	}
+}
+
+// probeAll health-checks every shard, returning shards that just died.
+func (rt *Router) probeAll() (newlyDead []string) {
+	rt.mu.Lock()
+	ids := append([]string(nil), rt.order...)
+	rt.mu.Unlock()
+	for _, id := range ids {
+		rt.mu.Lock()
+		s := rt.shards[id]
+		url := s.URL
+		rt.mu.Unlock()
+		resp, err := rt.do(http.MethodGet, url+"/healthz", nil, rt.cfg.ProbeTimeout)
+		switch {
+		case err == nil && resp.StatusCode == http.StatusOK:
+			drainBody(resp)
+			rt.mu.Lock()
+			s.fails = 0
+			s.lastErr = ""
+			if s.state != shardUp {
+				// Rejoin: a restarted shard comes back empty; its lost jobs
+				// were already re-admitted elsewhere.
+				s.state = shardUp
+				rt.epoch++
+				rt.stats.transitions++
+				rt.mu.Unlock()
+				rt.cfg.Logf("fleet: shard %s rejoined (epoch %d)", id, rt.epoch)
+				rt.register(id)
+				continue
+			}
+			rt.mu.Unlock()
+		case err == nil && resp.StatusCode == http.StatusServiceUnavailable:
+			drainBody(resp)
+			rt.markDraining(id)
+		default:
+			if resp != nil {
+				drainBody(resp)
+				err = fmt.Errorf("healthz status %d", resp.StatusCode)
+			}
+			if died := rt.noteFailure(id, err); died {
+				newlyDead = append(newlyDead, id)
+			}
+		}
+	}
+	return newlyDead
+}
+
+// noteFailure records one failed interaction with a shard; FailAfter
+// consecutive failures take it out of the ring. Reports whether this
+// call killed it.
+func (rt *Router) noteFailure(id string, err error) bool {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	s := rt.shards[id]
+	if s == nil || s.state == shardDown {
+		return false
+	}
+	s.fails++
+	if err != nil {
+		s.lastErr = err.Error()
+	}
+	if s.fails < rt.cfg.FailAfter {
+		return false
+	}
+	s.state = shardDown
+	rt.epoch++
+	rt.stats.transitions++
+	rt.cfg.Logf("fleet: shard %s down after %d failed probes (epoch %d): %s", id, s.fails, rt.epoch, s.lastErr)
+	return true
+}
+
+// markDraining flips a shard out of the routing set without failover:
+// a draining shard finishes its admitted jobs.
+func (rt *Router) markDraining(id string) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	s := rt.shards[id]
+	if s == nil || s.state != shardUp {
+		return
+	}
+	s.state = shardDraining
+	rt.epoch++
+	rt.stats.transitions++
+	rt.cfg.Logf("fleet: shard %s draining (epoch %d)", id, rt.epoch)
+}
+
+// listJobs fetches one shard's job table.
+func (rt *Router) listJobs(url string) ([]serve.JobInfo, error) {
+	resp, err := rt.do(http.MethodGet, url+"/jobs", nil, rt.cfg.ProbeTimeout)
+	if err != nil {
+		return nil, err
+	}
+	defer drainBody(resp)
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("fleet: listing jobs: status %d", resp.StatusCode)
+	}
+	var infos []serve.JobInfo
+	if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
+		return nil, err
+	}
+	return infos, nil
+}
+
+// refresh pulls job states from every reachable shard into the fleet
+// table (matching on tags), so failover and rebalancing act on fresh
+// knowledge of what is queued where.
+func (rt *Router) refresh() {
+	rt.mu.Lock()
+	targets := make(map[string]string)
+	for id, s := range rt.shards {
+		if s.state != shardDown {
+			targets[id] = s.URL
+		}
+	}
+	rt.mu.Unlock()
+	for _, id := range rt.order {
+		url, ok := targets[id]
+		if !ok {
+			continue
+		}
+		infos, err := rt.listJobs(url)
+		if err != nil {
+			continue
+		}
+		rt.mu.Lock()
+		for _, info := range infos {
+			job := rt.byTag[info.Tag]
+			if job == nil || job.Shard != id || job.ShardJob != info.ID {
+				continue
+			}
+			job.State = info.Status
+			job.Reason = info.Reason
+			if info.HasDigest {
+				job.Digest = fmt.Sprintf("%016x", info.Digest)
+			}
+		}
+		rt.mu.Unlock()
+	}
+}
+
+// failover re-admits a dead shard's unfinished jobs onto the survivors:
+// queued-but-unstarted jobs lost their place in line, running jobs lost
+// their simulated cluster — both are deterministic MapReduce jobs, so
+// restart-from-scratch on a survivor is safe and byte-equivalent.
+func (rt *Router) failover(dead string) {
+	rt.mu.Lock()
+	var orphans []*FleetJob
+	for _, j := range rt.jobs {
+		if j.Shard == dead && !j.terminal() && j.State != stateSubmitted {
+			orphans = append(orphans, j)
+		}
+	}
+	rt.mu.Unlock()
+	if len(orphans) == 0 {
+		return
+	}
+	rt.cfg.Logf("fleet: shard %s lost with %d unfinished jobs — re-admitting", dead, len(orphans))
+	for _, j := range orphans {
+		req := serve.Request{Tenant: j.Tenant, Kind: j.Kind, Params: j.Params,
+			Weight: j.Weight, MinGang: j.MinGang, Tag: j.Tag}
+		info, code, shardID, err := rt.route(req, map[string]bool{dead: true})
+		rt.mu.Lock()
+		switch {
+		case err != nil:
+			j.State = "failed"
+			j.Reason = "shard " + dead + " lost; re-admission failed: " + err.Error()
+			rt.stats.lost++
+		case code == http.StatusAccepted:
+			j.Shard = shardID
+			j.ShardJob = info.ID
+			j.State = info.Status
+			j.Reason = ""
+			j.Attempts++
+			rt.stats.failovers++
+			rt.shards[shardID].routed++
+		default:
+			// The survivor shed it: an explicit terminal answer.
+			j.State = "failed"
+			j.Reason = "shard " + dead + " lost; re-admission rejected: " + info.Reason
+			rt.stats.lost++
+		}
+		rt.mu.Unlock()
+	}
+}
+
+// rebalance steals one queued job per cycle from the deepest shard
+// queue to the shallowest when the skew crosses the threshold — the
+// scheduler's chunk stealing, promoted to the cluster-of-clusters.
+func (rt *Router) rebalance() {
+	if rt.cfg.SkewThreshold < 0 {
+		return
+	}
+	rt.mu.Lock()
+	depth := make(map[string]int)
+	for id, s := range rt.shards {
+		if s.state == shardUp {
+			depth[id] = 0
+		}
+	}
+	if len(depth) < 2 {
+		rt.mu.Unlock()
+		return
+	}
+	for _, j := range rt.jobs {
+		if _, ok := depth[j.Shard]; ok && j.State == "queued" {
+			depth[j.Shard]++
+		}
+	}
+	deep, shallow := deepest(depth), shallowest(depth)
+	if deep == "" || shallow == "" || depth[deep]-depth[shallow] < rt.cfg.SkewThreshold {
+		rt.mu.Unlock()
+		return
+	}
+	var victim *FleetJob
+	// Steal the newest queued job on the deep shard: it has waited the
+	// least, so moving it is the cheapest fairness-wise.
+	for i := len(rt.jobs) - 1; i >= 0; i-- {
+		if j := rt.jobs[i]; j.Shard == deep && j.State == "queued" {
+			victim = j
+			break
+		}
+	}
+	if victim == nil {
+		rt.mu.Unlock()
+		return
+	}
+	deepURL := rt.shards[deep].URL
+	shardJob := victim.ShardJob
+	tag := victim.Tag
+	rt.mu.Unlock()
+
+	// Cancel on the deep shard; a 409 means it started running — no steal.
+	resp, err := rt.do(http.MethodDelete, fmt.Sprintf("%s/jobs/%d", deepURL, shardJob), nil, rt.cfg.ProbeTimeout)
+	if err != nil {
+		rt.noteFailure(deep, err)
+		return
+	}
+	code := resp.StatusCode
+	drainBody(resp)
+	if code != http.StatusOK {
+		return
+	}
+	req := serve.Request{Tenant: victim.Tenant, Kind: victim.Kind, Params: victim.Params,
+		Weight: victim.Weight, MinGang: victim.MinGang, Tag: tag}
+	info, code, err := rt.postJob(shallow, req)
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if err != nil || code != http.StatusAccepted {
+		// The steal target flinched; the job is cancelled on the deep
+		// shard, so put it back through normal routing next cycle by
+		// marking it failed-over territory.
+		victim.State = "failed"
+		victim.Reason = fmt.Sprintf("rebalance lost the job (target %s: %v, status %d)", shallow, err, code)
+		rt.stats.lost++
+		return
+	}
+	victim.Shard = shallow
+	victim.ShardJob = info.ID
+	victim.State = info.Status
+	victim.Attempts++
+	rt.stats.steals++
+	rt.shards[shallow].routed++
+	rt.cfg.Logf("fleet: stole job %s from %s (depth %d) to %s (depth %d)",
+		tag, deep, depth[deep], shallow, depth[shallow])
+}
+
+// deepest / shallowest pick map extremes deterministically (ties by id).
+func deepest(depth map[string]int) string {
+	best, bestN := "", -1
+	for id, n := range depth {
+		if n > bestN || (n == bestN && (best == "" || id < best)) {
+			best, bestN = id, n
+		}
+	}
+	return best
+}
+
+func shallowest(depth map[string]int) string {
+	best, bestN := "", -1
+	for id, n := range depth {
+		if bestN < 0 || n < bestN || (n == bestN && id < best) {
+			best, bestN = id, n
+		}
+	}
+	return best
+}
+
+// Jobs snapshots the fleet job table.
+func (rt *Router) Jobs() []FleetJob {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	out := make([]FleetJob, len(rt.jobs))
+	for i, j := range rt.jobs {
+		out[i] = *j
+	}
+	return out
+}
+
+// Job snapshots one fleet job.
+func (rt *Router) Job(id int) (FleetJob, bool) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if id < 0 || id >= len(rt.jobs) {
+		return FleetJob{}, false
+	}
+	return *rt.jobs[id], true
+}
+
+// Stats is the router's counter snapshot.
+type Stats struct {
+	Submitted   int64 `json:"submitted"`   // fleet-level submissions
+	Accepted    int64 `json:"accepted"`    // routed to a shard, 202
+	Rejected    int64 `json:"rejected"`    // shard answered 429/400
+	Unrouted    int64 `json:"unrouted"`    // no live shard could take it, 503
+	Retries     int64 `json:"retries"`     // same-shard submission retries
+	Reroutes    int64 `json:"reroutes"`    // submissions moved to another ring candidate
+	Failovers   int64 `json:"failovers"`   // jobs re-admitted after a shard loss
+	Lost        int64 `json:"lost"`        // jobs no survivor would take
+	Steals      int64 `json:"steals"`      // queued jobs rebalanced off a deep shard
+	Transitions int64 `json:"transitions"` // ring membership changes
+}
+
+// Stats snapshots the router's counters.
+func (rt *Router) Stats() Stats {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	s := rt.stats
+	return Stats{
+		Submitted: s.submitted, Accepted: s.accepted, Rejected: s.rejected,
+		Unrouted: s.unrouted, Retries: s.retries, Reroutes: s.reroutes,
+		Failovers: s.failovers, Lost: s.lost, Steals: s.steals,
+		Transitions: s.transitions,
+	}
+}
+
+// ShardStatus is one shard's health snapshot.
+type ShardStatus struct {
+	ID      string `json:"id"`
+	URL     string `json:"url"`
+	State   string `json:"state"`
+	Fails   int    `json:"fails,omitempty"`
+	LastErr string `json:"lastErr,omitempty"`
+	Queued  int    `json:"queued"`  // router-view queued jobs
+	Running int    `json:"running"` // router-view running jobs
+	Routed  int64  `json:"routed"`  // accepted submissions ever routed here
+}
+
+// RingStatus is the fleet health snapshot.
+type RingStatus struct {
+	Epoch    int           `json:"epoch"`
+	Draining bool          `json:"draining"`
+	Shards   []ShardStatus `json:"shards"`
+}
+
+// Status snapshots ring membership and per-shard health.
+func (rt *Router) Status() RingStatus {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	st := RingStatus{Epoch: rt.epoch, Draining: rt.draining.Load()}
+	for _, id := range rt.order {
+		s := rt.shards[id]
+		ss := ShardStatus{ID: s.ID, URL: s.URL, State: s.state, Fails: s.fails, LastErr: s.lastErr, Routed: s.routed}
+		for _, j := range rt.jobs {
+			if j.Shard != id || j.terminal() {
+				continue
+			}
+			switch j.State {
+			case "queued":
+				ss.Queued++
+			case "running":
+				ss.Running++
+			}
+		}
+		st.Shards = append(st.Shards, ss)
+	}
+	return st
+}
+
+// Proxy forwards a GET to the shard owning a fleet job (output,
+// timeline, raw record), streaming the shard's answer through.
+func (rt *Router) Proxy(w io.Writer, fleetID int, suffix string) (int, string, error) {
+	rt.mu.Lock()
+	if fleetID < 0 || fleetID >= len(rt.jobs) {
+		rt.mu.Unlock()
+		return http.StatusNotFound, "", fmt.Errorf("fleet: no job %d", fleetID)
+	}
+	j := rt.jobs[fleetID]
+	s := rt.shards[j.Shard]
+	if s == nil || s.state == shardDown {
+		rt.mu.Unlock()
+		return http.StatusBadGateway, "", fmt.Errorf("fleet: job %d's shard %s is down", fleetID, j.Shard)
+	}
+	url := fmt.Sprintf("%s/jobs/%d%s", s.URL, j.ShardJob, suffix)
+	rt.mu.Unlock()
+	resp, err := rt.do(http.MethodGet, url, nil, rt.cfg.SubmitTimeout)
+	if err != nil {
+		return http.StatusBadGateway, "", err
+	}
+	defer drainBody(resp)
+	if _, err := io.Copy(w, resp.Body); err != nil {
+		return resp.StatusCode, resp.Header.Get("Content-Type"), err
+	}
+	return resp.StatusCode, resp.Header.Get("Content-Type"), nil
+}
+
+// Cancel withdraws a queued fleet job from its shard.
+func (rt *Router) Cancel(fleetID int) (int, error) {
+	rt.mu.Lock()
+	if fleetID < 0 || fleetID >= len(rt.jobs) {
+		rt.mu.Unlock()
+		return http.StatusNotFound, fmt.Errorf("fleet: no job %d", fleetID)
+	}
+	j := rt.jobs[fleetID]
+	s := rt.shards[j.Shard]
+	if s == nil || s.state == shardDown {
+		rt.mu.Unlock()
+		return http.StatusBadGateway, fmt.Errorf("fleet: job %d's shard %s is down", fleetID, j.Shard)
+	}
+	url := fmt.Sprintf("%s/jobs/%d", s.URL, j.ShardJob)
+	rt.mu.Unlock()
+	resp, err := rt.do(http.MethodDelete, url, nil, rt.cfg.ProbeTimeout)
+	if err != nil {
+		return http.StatusBadGateway, err
+	}
+	code := resp.StatusCode
+	drainBody(resp)
+	if code == http.StatusOK {
+		rt.mu.Lock()
+		j.State = "cancelled"
+		rt.mu.Unlock()
+	}
+	return code, nil
+}
+
+// Drain shuts the fleet down: stop probing, stop admitting, then walk
+// every reachable shard through the drain handshake and collect its
+// final report. Responses come back sorted by shard ID — the
+// deterministic merge order. Idempotent: every caller after the first
+// gets the cached responses.
+func (rt *Router) Drain() ([]serve.DrainResponse, error) {
+	rt.drainOnce.Do(func() { rt.drainResps, rt.drainErr = rt.drain() })
+	return rt.drainResps, rt.drainErr
+}
+
+func (rt *Router) drain() ([]serve.DrainResponse, error) {
+	rt.draining.Store(true)
+	rt.Stop()
+	rt.mu.Lock()
+	type target struct{ id, url string }
+	var targets []target
+	for _, id := range rt.order {
+		if s := rt.shards[id]; s.state != shardDown {
+			targets = append(targets, target{id, s.URL})
+		}
+	}
+	rt.mu.Unlock()
+	var resps []serve.DrainResponse
+	var firstErr error
+	for _, t := range targets {
+		resp, err := rt.do(http.MethodPost, t.url+"/drain", nil, rt.cfg.DrainTimeout)
+		if err != nil {
+			rt.cfg.Logf("fleet: draining shard %s: %v", t.id, err)
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		var dr serve.DrainResponse
+		err = json.NewDecoder(resp.Body).Decode(&dr)
+		drainBody(resp)
+		if err != nil {
+			rt.cfg.Logf("fleet: decoding drain response from %s: %v", t.id, err)
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if dr.Shard == "" {
+			dr.Shard = t.id // unregistered standalone shard
+		}
+		resps = append(resps, dr)
+	}
+	sort.Slice(resps, func(i, j int) bool { return resps[i].Shard < resps[j].Shard })
+	return resps, firstErr
+}
+
+// do issues one HTTP request with a per-request timeout.
+func (rt *Router) do(method, url string, body []byte, timeout time.Duration) (*http.Response, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	req, err := http.NewRequestWithContext(ctx, method, url, bytes.NewReader(body))
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := rt.cfg.Client.Do(req)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	resp.Body = &cancelBody{ReadCloser: resp.Body, cancel: cancel}
+	return resp, nil
+}
+
+// cancelBody releases the request context when the body is closed.
+type cancelBody struct {
+	io.ReadCloser
+	cancel context.CancelFunc
+}
+
+func (b *cancelBody) Close() error {
+	err := b.ReadCloser.Close()
+	b.cancel()
+	return err
+}
+
+// drainBody discards and closes a response body so connections recycle.
+func drainBody(resp *http.Response) {
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+}

@@ -1,0 +1,336 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/sched"
+	"repro/internal/serve"
+)
+
+// quiet swallows router/handler diagnostics so tests can log after the
+// harness finishes probing.
+func quiet(string, ...any) {}
+
+// syncBuffer guards a trace buffer against the engine goroutine writing
+// while a probe races; reads happen only after drain.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) Bytes() []byte {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]byte(nil), b.buf.Bytes()...)
+}
+
+// testShard is one in-process gpmrd shard: a serving session behind the
+// real HTTP handler, recording its arrival trace.
+type testShard struct {
+	sv    *serve.Server
+	hs    *httptest.Server
+	trace *syncBuffer
+}
+
+func newTestShard(t *testing.T) *testShard {
+	t.Helper()
+	trace := &syncBuffer{}
+	sv, err := serve.Start(serve.Config{
+		Cluster:     cluster.DefaultConfig(8),
+		Policy:      sched.Policy{Kind: sched.WeightedFair},
+		Catalog:     serve.DefaultCatalog(2048),
+		MaxQueue:    -1, // unbounded: survivors must absorb failover re-admissions
+		TimeScale:   20,
+		TraceW:      trace,
+		KeepOutputs: 4,
+	})
+	if err != nil {
+		t.Fatalf("serve.Start: %v", err)
+	}
+	hs := httptest.NewServer(serve.NewHandler(sv, serve.HandlerConfig{Logf: quiet}))
+	return &testShard{sv: sv, hs: hs, trace: trace}
+}
+
+// TestFleetFailoverDeterminism is the fleet's acceptance proof: three
+// shards, jobs routed across tenants, one shard fail-stopped while it
+// still owns unfinished work. Every admitted job must reach a terminal
+// state (here: done — survivors have unbounded queues), and the
+// survivors' drained fleet report must be byte-identical to a
+// ReplayDir over their recorded traces.
+func TestFleetFailoverDeterminism(t *testing.T) {
+	shards := []*testShard{newTestShard(t), newTestShard(t), newTestShard(t)}
+	cfg := Config{
+		Shards: []Shard{
+			{ID: "s0", URL: shards[0].hs.URL},
+			{ID: "s1", URL: shards[1].hs.URL},
+			{ID: "s2", URL: shards[2].hs.URL},
+		},
+		LoadFactor:    -1, // plain hashing: tenant→shard is fixed, so the kill is deterministic
+		ProbeInterval: 20 * time.Millisecond,
+		ProbeTimeout:  2 * time.Second,
+		FailAfter:     2,
+		RetryBackoff:  5 * time.Millisecond,
+		SkewThreshold: -1,
+		Logf:          quiet,
+	}
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	rt.Start()
+
+	submit := func(tenant string, i int) SubmitStatus {
+		t.Helper()
+		st := rt.Submit(serve.Request{Tenant: tenant, Kind: "wo",
+			Params: serve.Params{"bytes": 1 << 20, "gpus": 2, "seed": int64(i + 1)}})
+		if st.Code != http.StatusAccepted {
+			t.Fatalf("submit %s/%d: status %d (%s)", tenant, i, st.Code, st.Err)
+		}
+		return st
+	}
+	tenants := []string{"ana", "bo", "cy", "dan", "eve", "fay"}
+	n := 0
+	for i, tn := range tenants {
+		submit(tn, i)
+		n++
+	}
+
+	// Pick the victim: the shard owning the last submitted job, then keep
+	// feeding its tenant until the shard provably holds unfinished work
+	// at the moment we kill it — that forces a real failover.
+	jobs := rt.Jobs()
+	victimID := jobs[len(jobs)-1].Shard
+	victimTenant := jobs[len(jobs)-1].Tenant
+	var victim *testShard
+	for i, s := range cfg.Shards {
+		if s.ID == victimID {
+			victim = shards[i]
+		}
+	}
+	if victim == nil {
+		t.Fatalf("no shard %q", victimID)
+	}
+	killed := false
+	for i := 0; i < 50 && !killed; i++ {
+		submit(victimTenant, 100+i)
+		n++
+		s := victim.sv.Stats()
+		if s.Queued+s.Running > 0 {
+			victim.hs.CloseClientConnections()
+			victim.hs.Close()
+			killed = true
+		}
+	}
+	if !killed {
+		t.Fatal("victim shard never held unfinished work")
+	}
+
+	// The router must mark the victim down, re-admit its unfinished jobs
+	// onto the survivors, and ride every job to a terminal state.
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatalf("fleet never settled: status %+v\njobs %+v", rt.Status(), rt.Jobs())
+		}
+		st := rt.Status()
+		down := false
+		for _, s := range st.Shards {
+			if s.ID == victimID && s.State == shardDown {
+				down = true
+			}
+		}
+		allDone := true
+		for _, j := range rt.Jobs() {
+			if j.State != "done" {
+				allDone = false
+			}
+		}
+		if down && allDone {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := len(rt.Jobs()); got != n {
+		t.Fatalf("fleet table has %d jobs, want %d", got, n)
+	}
+	stats := rt.Stats()
+	if stats.Failovers == 0 {
+		t.Fatal("shard died with unfinished work but no failovers were recorded")
+	}
+	if stats.Lost != 0 {
+		t.Fatalf("%d jobs lost; every job must complete or be explicitly shed", stats.Lost)
+	}
+
+	// Live drain: merged report over the survivors.
+	resps, err := rt.Drain()
+	if err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if len(resps) != 2 {
+		t.Fatalf("drained %d shards, want 2 survivors", len(resps))
+	}
+	var done int64
+	for _, r := range resps {
+		if r.Shard == victimID {
+			t.Fatalf("dead shard %s answered the drain", victimID)
+		}
+		done += r.Done
+	}
+	// Jobs the victim finished before dying stay done in the fleet table
+	// without appearing in any survivor's report; everything else must.
+	victimDone := 0
+	for _, j := range rt.Jobs() {
+		if j.Shard == victimID {
+			victimDone++
+		}
+	}
+	if done != int64(n-victimDone) {
+		t.Fatalf("survivors completed %d jobs, want %d (%d total, %d finished on the dead shard)",
+			done, n-victimDone, n, victimDone)
+	}
+	liveMerged := Merge(resps)
+
+	// Replay the survivors' traces from disk: byte-identical merge.
+	dir := t.TempDir()
+	for i, s := range cfg.Shards {
+		if s.ID == victimID {
+			continue // its partial trace died with it; its jobs live on in the survivors'
+		}
+		p := filepath.Join(dir, fmt.Sprintf("%s.jsonl", s.ID))
+		if err := os.WriteFile(p, shards[i].trace.Bytes(), 0o644); err != nil {
+			t.Fatalf("writing trace: %v", err)
+		}
+	}
+	replayed, err := ReplayDir(dir, serve.ReplayOptions{})
+	if err != nil {
+		t.Fatalf("ReplayDir: %v", err)
+	}
+	if liveMerged != replayed {
+		t.Fatalf("live and replayed fleet reports differ:\n--- live ---\n%s--- replay ---\n%s", liveMerged, replayed)
+	}
+
+	// Second drain call returns the cached responses (idempotent).
+	again, err := rt.Drain()
+	if err != nil || Merge(again) != liveMerged {
+		t.Fatalf("Drain is not idempotent (err %v)", err)
+	}
+	victim.sv.Drain() // release the dead shard's session
+}
+
+// TestRouterRetriesTransientErrors: a shard that throws two transient
+// 500s before accepting still lands the job, with retries counted.
+func TestRouterRetriesTransientErrors(t *testing.T) {
+	var mu sync.Mutex
+	posts := 0
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		posts++
+		n := posts
+		mu.Unlock()
+		if n <= 2 {
+			http.Error(w, "transient", http.StatusInternalServerError)
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(serve.JobInfo{ID: 0, Tenant: "ana", Kind: "wo", Status: "queued"})
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) { fmt.Fprintln(w, "ok") })
+	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, r *http.Request) { fmt.Fprintln(w, "[]") })
+	mux.HandleFunc("POST /fleet/register", func(w http.ResponseWriter, r *http.Request) { fmt.Fprintln(w, "{}") })
+	hs := httptest.NewServer(mux)
+	defer hs.Close()
+
+	rt, err := New(Config{
+		Shards:        []Shard{{ID: "s0", URL: hs.URL}},
+		SubmitRetries: 2,
+		RetryBackoff:  time.Millisecond,
+		Logf:          quiet,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	st := rt.Submit(serve.Request{Tenant: "ana", Kind: "wo", Params: serve.Params{"bytes": 1 << 20, "gpus": 2, "seed": 1}})
+	if st.Code != http.StatusAccepted {
+		t.Fatalf("submit: status %d (%s)", st.Code, st.Err)
+	}
+	if got := rt.Stats().Retries; got != 2 {
+		t.Fatalf("retries = %d, want 2", got)
+	}
+}
+
+// TestRouterReroutesAroundDeadShard: a tenant whose ring home refuses
+// connections still gets placed — on the next ring candidate.
+func TestRouterReroutesAroundDeadShard(t *testing.T) {
+	alive := newTestShard(t)
+	defer alive.hs.Close()
+	defer alive.sv.Drain()
+	deadURL := "http://127.0.0.1:1" // nothing listens on port 1
+
+	rt, err := New(Config{
+		Shards:        []Shard{{ID: "s0", URL: deadURL}, {ID: "s1", URL: alive.hs.URL}},
+		LoadFactor:    -1,
+		SubmitRetries: 1,
+		RetryBackoff:  time.Millisecond,
+		Logf:          quiet,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	// Find a tenant whose plain-hash home is the dead shard.
+	ring, err := NewRing([]string{"s0", "s1"}, 0)
+	if err != nil {
+		t.Fatalf("NewRing: %v", err)
+	}
+	tenant := ""
+	for i := 0; i < 1000; i++ {
+		cand := fmt.Sprintf("t%d", i)
+		if home, _ := ring.Pick(cand, eligibleZero("s0", "s1"), -1); home == "s0" {
+			tenant = cand
+			break
+		}
+	}
+	if tenant == "" {
+		t.Fatal("no tenant hashes to s0")
+	}
+	st := rt.Submit(serve.Request{Tenant: tenant, Kind: "wo", Params: serve.Params{"bytes": 1 << 20, "gpus": 2, "seed": 1}})
+	if st.Code != http.StatusAccepted {
+		t.Fatalf("submit: status %d (%s)", st.Code, st.Err)
+	}
+	if st.Job.Shard != "s1" {
+		t.Fatalf("job landed on %s, want the live shard s1", st.Job.Shard)
+	}
+	if got := rt.Stats().Reroutes; got == 0 {
+		t.Fatal("no reroute recorded for a dead ring home")
+	}
+}
+
+// TestMergeOrderAndSummary pins the merged-report shape: banners sorted
+// by shard id, summary line over the summed counters.
+func TestMergeOrderAndSummary(t *testing.T) {
+	got := Merge([]serve.DrainResponse{
+		{Shard: "s1", Epoch: 2, Submitted: 3, Done: 2, Failed: 1, Report: "r1\n"},
+		{Shard: "s0", Epoch: 2, Submitted: 4, Done: 4, Report: "r0\n"},
+	})
+	want := "=== shard s0 epoch 2 ===\nr0\n=== shard s1 epoch 2 ===\nr1\n" +
+		"fleet: 2 shards  7 submitted  6 done  1 failed  0 cancelled  0 rejected\n"
+	if got != want {
+		t.Fatalf("merge mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}

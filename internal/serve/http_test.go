@@ -1,0 +1,351 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/sched"
+)
+
+// quietLogf swallows handler diagnostics (the tests provoke errors on
+// purpose).
+func quietLogf(string, ...any) {}
+
+func startTestServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	if cfg.Cluster.GPUs == 0 {
+		cfg.Cluster = cluster.DefaultConfig(8)
+	}
+	if cfg.Policy.Kind == 0 {
+		cfg.Policy = sched.Policy{Kind: sched.WeightedFair}
+	}
+	if cfg.Catalog == nil {
+		cfg.Catalog = testCatalog()
+	}
+	if cfg.TimeScale == 0 {
+		cfg.TimeScale = 20
+	}
+	sv, err := Start(cfg)
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	return sv
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading response: %v", err)
+	}
+	return resp, out
+}
+
+func get(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading response: %v", err)
+	}
+	return resp, out
+}
+
+// TestHandlerLifecycle walks the full HTTP surface: submit, poll to
+// done, retrieve the output, hit the error paths the timeline fix
+// distinguishes (unknown job → 404, render failure → 500), then drain
+// and verify the handshake's answers.
+func TestHandlerLifecycle(t *testing.T) {
+	sv := startTestServer(t, Config{KeepOutputs: 4})
+	drained := make(chan struct{})
+	hs := httptest.NewServer(NewHandler(sv, HandlerConfig{
+		OnDrain: func() { close(drained) },
+		Logf:    quietLogf,
+	}))
+	defer hs.Close()
+
+	resp, body := postJSON(t, hs.URL+"/jobs", Request{
+		Tenant: "ana", Kind: "wo", Params: Params{"bytes": 1 << 20, "gpus": 2, "seed": 1}, Tag: "f0",
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d: %s", resp.StatusCode, body)
+	}
+	var info JobInfo
+	if err := json.Unmarshal(body, &info); err != nil {
+		t.Fatalf("submit answer: %v", err)
+	}
+	if info.ID != 0 || info.Tag != "f0" {
+		t.Fatalf("submit answer: %+v", info)
+	}
+
+	waitDrained(t, sv, 1)
+
+	if resp, _ := get(t, fmt.Sprintf("%s/jobs/%d", hs.URL, info.ID)); resp.StatusCode != http.StatusOK {
+		t.Fatalf("job record: status %d", resp.StatusCode)
+	}
+	resp, out := get(t, fmt.Sprintf("%s/jobs/%d/output", hs.URL, info.ID))
+	if resp.StatusCode != http.StatusOK || len(out) == 0 {
+		t.Fatalf("output: status %d, %d bytes", resp.StatusCode, len(out))
+	}
+	if resp, _ := get(t, hs.URL+"/jobs/99/output"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job output: status %d, want 404", resp.StatusCode)
+	}
+
+	// The timeline distinction: 404 is reserved for a job the service has
+	// never heard of; a known job whose render fails (no recorder here)
+	// is a 500, not a 404.
+	if resp, _ := get(t, hs.URL+"/jobs/99/timeline"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job timeline: status %d, want 404", resp.StatusCode)
+	}
+	if resp, _ := get(t, fmt.Sprintf("%s/jobs/%d/timeline", hs.URL, info.ID)); resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("render-failure timeline: status %d, want 500", resp.StatusCode)
+	}
+
+	if resp, _ := get(t, hs.URL+"/healthz"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: status %d", resp.StatusCode)
+	}
+
+	resp, body = postJSON(t, hs.URL+"/drain", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("drain: status %d", resp.StatusCode)
+	}
+	var dr DrainResponse
+	if err := json.Unmarshal(body, &dr); err != nil {
+		t.Fatalf("drain answer: %v", err)
+	}
+	if dr.Done != 1 || dr.Submitted != 1 || dr.Report == "" {
+		t.Fatalf("drain answer: %+v", dr)
+	}
+	select {
+	case <-drained:
+	case <-time.After(10 * time.Second):
+		t.Fatal("OnDrain never fired")
+	}
+
+	// Drained service: healthz flips, submissions bounce, a second drain
+	// returns the identical cached answer.
+	if resp, _ := get(t, hs.URL+"/healthz"); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("drained healthz: status %d, want 503", resp.StatusCode)
+	}
+	if resp, _ := postJSON(t, hs.URL+"/jobs", Request{Tenant: "bo", Kind: "wo",
+		Params: Params{"bytes": 1 << 20, "gpus": 2, "seed": 2}}); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("drained submit: status %d, want 503", resp.StatusCode)
+	}
+	_, body2 := postJSON(t, hs.URL+"/drain", nil)
+	if !bytes.Equal(body, body2) {
+		t.Fatal("second drain answer differs from the first")
+	}
+}
+
+// TestHandlerFleetRegister: the registration handshake stamps the trace
+// header before any event is recorded, and refuses to re-stamp a
+// different identity once the header is on disk.
+func TestHandlerFleetRegister(t *testing.T) {
+	var trace bytes.Buffer
+	sv := startTestServer(t, Config{TraceW: &trace})
+	hs := httptest.NewServer(NewHandler(sv, HandlerConfig{Logf: quietLogf}))
+	defer hs.Close()
+
+	if resp, body := postJSON(t, hs.URL+"/fleet/register", FleetRegistration{Shard: "s7", Epoch: 3}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("register: status %d: %s", resp.StatusCode, body)
+	}
+	if resp, _ := postJSON(t, hs.URL+"/jobs", Request{Tenant: "ana", Kind: "wo",
+		Params: Params{"bytes": 1 << 20, "gpus": 2, "seed": 1}}); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+	waitDrained(t, sv, 1)
+	// The first arrival flushed the header; a conflicting identity must
+	// now be refused.
+	if resp, _ := postJSON(t, hs.URL+"/fleet/register", FleetRegistration{Shard: "s8", Epoch: 4}); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("conflicting register: status %d, want 409", resp.StatusCode)
+	}
+	if _, err := sv.Drain(); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	tr, err := ReadTrace(bytes.NewReader(trace.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadTrace: %v", err)
+	}
+	if tr.Header.Shard != "s7" || tr.Header.Epoch != 3 {
+		t.Fatalf("trace header fleet identity = %q/%d, want s7/3", tr.Header.Shard, tr.Header.Epoch)
+	}
+}
+
+// TestOutputRetentionEviction: KeepOutputs bounds the side table FIFO;
+// an evicted output answers 409 (known job, output gone), not 404.
+func TestOutputRetentionEviction(t *testing.T) {
+	sv := startTestServer(t, Config{KeepOutputs: 1})
+	hs := httptest.NewServer(NewHandler(sv, HandlerConfig{Logf: quietLogf}))
+	defer hs.Close()
+
+	for i := 0; i < 2; i++ {
+		resp, body := postJSON(t, hs.URL+"/jobs", Request{Tenant: "ana", Kind: "wo",
+			Params: Params{"bytes": 1 << 20, "gpus": 2, "seed": int64(i + 1)}})
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %d: status %d: %s", i, resp.StatusCode, body)
+		}
+		waitDrained(t, sv, int64(i+1))
+	}
+	if resp, _ := get(t, hs.URL+"/jobs/0/output"); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("evicted output: status %d, want 409", resp.StatusCode)
+	}
+	resp, out := get(t, hs.URL+"/jobs/1/output")
+	if resp.StatusCode != http.StatusOK || len(out) == 0 {
+		t.Fatalf("retained output: status %d, %d bytes", resp.StatusCode, len(out))
+	}
+	sv.Drain()
+}
+
+// TestGracefulShutdownRace is the drain-correctness proof for the
+// daemon's signal path: submissions racing a graceful shutdown either
+// get a terminal HTTP answer (202/429/503) or fail at dial time
+// (listener already closed) — never a connection reset mid-request.
+func TestGracefulShutdownRace(t *testing.T) {
+	sv := startTestServer(t, Config{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	srv := &http.Server{Handler: NewHandler(sv, HandlerConfig{Logf: quietLogf})}
+	go srv.Serve(ln)
+	base := "http://" + ln.Addr().String()
+
+	// Fresh connection per request: an error can then only be a dial
+	// error, never a torn keep-alive.
+	client := &http.Client{Transport: &http.Transport{DisableKeepAlives: true}}
+
+	stopSubmitting := make(chan struct{})
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var submitted int64
+	var badStatus []int
+	var badErrs []error
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stopSubmitting:
+					return
+				default:
+				}
+				b, _ := json.Marshal(Request{Tenant: fmt.Sprintf("t%d", g), Kind: "wo",
+					Params: Params{"bytes": 1 << 20, "gpus": 2, "seed": int64(g*1000 + i + 1)}})
+				resp, err := client.Post(base+"/jobs", "application/json", bytes.NewReader(b))
+				if err != nil {
+					// Only a refused dial is acceptable: the listener is gone.
+					var opErr *net.OpError
+					if !errors.As(err, &opErr) || opErr.Op != "dial" {
+						mu.Lock()
+						badErrs = append(badErrs, err)
+						mu.Unlock()
+					}
+					return
+				}
+				_, rerr := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				mu.Lock()
+				switch {
+				case rerr != nil:
+					badErrs = append(badErrs, rerr)
+				case resp.StatusCode == http.StatusAccepted:
+					submitted++
+				case resp.StatusCode == http.StatusTooManyRequests,
+					resp.StatusCode == http.StatusServiceUnavailable:
+					// Terminal backpressure answers: fine.
+				default:
+					badStatus = append(badStatus, resp.StatusCode)
+				}
+				mu.Unlock()
+			}
+		}(g)
+	}
+
+	time.Sleep(50 * time.Millisecond) // let submissions overlap the shutdown
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	close(stopSubmitting)
+	wg.Wait()
+
+	if len(badErrs) > 0 {
+		t.Fatalf("requests torn mid-flight: %v", badErrs)
+	}
+	if len(badStatus) > 0 {
+		t.Fatalf("non-terminal statuses: %v", badStatus)
+	}
+	// Every accepted submission must still reach a terminal state through
+	// the drain — acceptance is a promise.
+	waitDrained(t, sv, submitted)
+	rep, err := sv.Drain()
+	if err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if got := rep.Stats.Done + rep.Stats.Failed + rep.Stats.Cancelled; got != submitted {
+		t.Fatalf("%d accepted but %d terminal:\n%s", submitted, got, rep.String())
+	}
+	if submitted == 0 {
+		t.Skip("no submission completed before shutdown; nothing proven this run")
+	}
+}
+
+// TestCancelStatusCodes pins the cancel endpoint's 404/409 distinction:
+// unknown job vs known-but-not-queued.
+func TestCancelStatusCodes(t *testing.T) {
+	sv := startTestServer(t, Config{})
+	hs := httptest.NewServer(NewHandler(sv, HandlerConfig{Logf: quietLogf}))
+	defer hs.Close()
+
+	if resp, _ := postJSON(t, hs.URL+"/jobs", Request{Tenant: "ana", Kind: "wo",
+		Params: Params{"bytes": 1 << 20, "gpus": 2, "seed": 1}}); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+	waitDrained(t, sv, 1)
+
+	req, _ := http.NewRequest(http.MethodDelete, hs.URL+"/jobs/42", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("DELETE: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("cancel unknown job: status %d, want 404", resp.StatusCode)
+	}
+	req, _ = http.NewRequest(http.MethodDelete, hs.URL+"/jobs/0", nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("DELETE: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("cancel finished job: status %d, want 409", resp.StatusCode)
+	}
+	sv.Drain()
+}

@@ -17,6 +17,7 @@
 package serve
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -80,6 +81,12 @@ type Request struct {
 	// sched.JobSpec).
 	Weight  int
 	MinGang int
+	// Tag is an optional submitter-chosen correlation handle, recorded in
+	// the arrival trace and echoed in the job record. The fleet router
+	// keys its cross-shard job table on it: after a shard loss or router
+	// restart, tags are what let re-admitted jobs be matched to their
+	// fleet-level identity.
+	Tag string
 }
 
 // JobInfo is the service's record of one submission. All times are
@@ -90,6 +97,7 @@ type JobInfo struct {
 	Kind   string `json:"kind"`
 	Name   string `json:"name"`
 	Params Params `json:"params,omitempty"`
+	Tag    string `json:"tag,omitempty"`
 
 	State  State  `json:"-"`
 	Status string `json:"state"` // State.String(), kept in sync for JSON
@@ -185,6 +193,13 @@ type Config struct {
 	// TraceW, when set, records the live arrival trace (JSONL; see
 	// trace.go). Replay ignores it.
 	TraceW io.Writer
+
+	// KeepOutputs retains the canonical rendered output of the most
+	// recent KeepOutputs completed jobs (core.OutputRenderer text), so
+	// results can be retrieved after completion — the fleet router
+	// proxies them. 0 disables retention. Retention never affects
+	// reports: outputs are a side table, not report state.
+	KeepOutputs int
 }
 
 func (c Config) withDefaults() Config {
@@ -239,6 +254,15 @@ type session struct {
 	inflight map[string]int // per-tenant queued+running
 	vnow     des.Time       // virtual time of the last state change
 
+	// Fleet identity, stamped by the router's registration handshake
+	// (empty when the daemon runs standalone).
+	fleetShard string
+	fleetEpoch int
+
+	// Retained job outputs (Config.KeepOutputs most recent completions).
+	outputs  map[int]string
+	outOrder []int // completion order, for eviction
+
 	// Engine-confined (never read by foreign goroutines):
 	runnables []core.Runnable // by serve ID; dropped once digested
 	schedOf   []int           // serve ID → sched ID, -1 when never admitted
@@ -284,6 +308,7 @@ func newSession(cfg Config) (*session, error) {
 		sch:      sch,
 		inflight: make(map[string]int),
 		serveOf:  make(map[int]int),
+		outputs:  make(map[int]string),
 	}
 	ses.stats.Tenants = make(map[string]*TenantStats)
 	ses.stats.WaitHist = newLatencyHistogram()
@@ -333,12 +358,12 @@ func (ses *session) arrive(now des.Time, req Request) JobInfo {
 	// recomputed on replay, not recorded.
 	if ses.rec != nil {
 		ses.rec.Arrive(Arrival{Seq: id, At: now, Tenant: req.Tenant, Kind: req.Kind,
-			Params: req.Params, Weight: req.Weight, MinGang: req.MinGang})
+			Params: req.Params, Weight: req.Weight, MinGang: req.MinGang, Tag: req.Tag})
 	}
 
 	info := &JobInfo{
 		ID: id, Tenant: req.Tenant, Kind: req.Kind, Name: name, Params: req.Params,
-		Arrival: now, State: Rejected, Status: Rejected.String(),
+		Tag: req.Tag, Arrival: now, State: Rejected, Status: Rejected.String(),
 	}
 	ses.runnables = append(ses.runnables, nil)
 	ses.schedOf = append(ses.schedOf, -1)
@@ -468,9 +493,18 @@ func (ses *session) onDone(schedID int, tr *core.Trace, err error) {
 	now := ses.eng.Now()
 	var digest uint64
 	var hasDigest bool
+	var output string
 	if err == nil {
 		if d, ok := ses.runnables[id].(core.OutputDigester); ok {
 			digest, hasDigest = d.OutputDigest()
+		}
+		if ses.cfg.KeepOutputs > 0 {
+			if rr, ok := ses.runnables[id].(core.OutputRenderer); ok {
+				var sb strings.Builder
+				if rerr := rr.RenderOutput(&sb); rerr == nil {
+					output = sb.String()
+				}
+			}
 		}
 	}
 	ses.runnables[id] = nil
@@ -478,6 +512,14 @@ func (ses *session) onDone(schedID int, tr *core.Trace, err error) {
 	ses.mu.Lock()
 	defer ses.mu.Unlock()
 	ses.vnow = now
+	if output != "" {
+		ses.outputs[id] = output
+		ses.outOrder = append(ses.outOrder, id)
+		for len(ses.outOrder) > ses.cfg.KeepOutputs {
+			delete(ses.outputs, ses.outOrder[0])
+			ses.outOrder = ses.outOrder[1:]
+		}
+	}
 	info.Finish = now
 	info.Digest = digest
 	info.HasDigest = hasDigest
@@ -574,6 +616,15 @@ func (r *Report) String() string {
 // ErrDraining reports a submission or cancellation against a server that
 // is shutting down.
 var ErrDraining = errors.New("serve: server is draining")
+
+// ErrUnknownJob reports a job ID outside the service's job table. HTTP
+// handlers map it to 404, distinct from internal failures (500).
+var ErrUnknownJob = errors.New("serve: unknown job")
+
+// ErrNoOutput reports an output request for a job whose output is not
+// retained: the job has not completed, retention is disabled
+// (Config.KeepOutputs), or the output has been evicted.
+var ErrNoOutput = errors.New("serve: output not retained")
 
 // Server is the live service: a running engine fed through an injector,
 // with wall-clock arrivals mapped onto virtual time at this boundary.
@@ -700,6 +751,70 @@ func (sv *Server) VirtualNow() des.Time {
 	return sv.ses.vnow
 }
 
+// Draining reports whether the server has begun shutting down. The
+// health endpoint uses it so a fleet router can tell a draining shard
+// (expected: its jobs will finish) from a lost one (failover).
+func (sv *Server) Draining() bool { return sv.draining.Load() }
+
+// SetFleet stamps the server's fleet identity — its shard ID and the
+// ring epoch it joined at — into the job service and, when recording,
+// the arrival-trace header. It must be called before the first job
+// arrives; stamping a trace whose header has already been written fails.
+func (sv *Server) SetFleet(shard string, epoch int) error {
+	if shard == "" {
+		return errors.New("serve: empty fleet shard id")
+	}
+	ses := sv.ses
+	if ses.rec != nil {
+		if err := ses.rec.SetFleet(shard, epoch); err != nil {
+			return err
+		}
+	}
+	ses.mu.Lock()
+	defer ses.mu.Unlock()
+	ses.fleetShard, ses.fleetEpoch = shard, epoch
+	return nil
+}
+
+// FleetID returns the fleet identity stamped by SetFleet (empty shard
+// when the daemon runs standalone).
+func (sv *Server) FleetID() (shard string, epoch int) {
+	sv.ses.mu.Lock()
+	defer sv.ses.mu.Unlock()
+	return sv.ses.fleetShard, sv.ses.fleetEpoch
+}
+
+// Output returns the retained canonical output text of a completed job
+// (see Config.KeepOutputs). ErrUnknownJob for an ID outside the job
+// table; ErrNoOutput when the job's output is not retained.
+func (sv *Server) Output(id int) (string, error) {
+	sv.ses.mu.Lock()
+	defer sv.ses.mu.Unlock()
+	if id < 0 || id >= len(sv.ses.jobs) {
+		return "", fmt.Errorf("%w: %d", ErrUnknownJob, id)
+	}
+	out, ok := sv.ses.outputs[id]
+	if !ok {
+		return "", fmt.Errorf("%w: job %d is %s", ErrNoOutput, id, sv.ses.jobs[id].State)
+	}
+	return out, nil
+}
+
+// WriteJobTable writes the current job table as JSONL, one JobInfo per
+// line in ID order — the restartable record a shard leaves behind at
+// drain so a successor (or the router) can account for every job the
+// old incarnation ever admitted.
+func (sv *Server) WriteJobTable(w io.Writer) error {
+	jobs := sv.Jobs()
+	enc := json.NewEncoder(w)
+	for i := range jobs {
+		if err := enc.Encode(&jobs[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Drain stops accepting work, waits for every admitted job to finish,
 // flushes the arrival trace, and returns the final report. Idempotent;
 // concurrent callers all receive the same report.
@@ -808,7 +923,7 @@ func replaySession(tr *Trace, opt ReplayOptions) (*session, des.Time, error) {
 			}
 			if a := ev.Arrive; a != nil {
 				info := ses.arrive(p.Now(), Request{Tenant: a.Tenant, Kind: a.Kind,
-					Params: a.Params, Weight: a.Weight, MinGang: a.MinGang})
+					Params: a.Params, Weight: a.Weight, MinGang: a.MinGang, Tag: a.Tag})
 				if info.ID != a.Seq {
 					panic(fmt.Sprintf("serve: replay assigned ID %d to recorded seq %d", info.ID, a.Seq))
 				}

@@ -20,7 +20,7 @@ var ErrNoRecorder = fmt.Errorf("serve: no flight recorder configured")
 func (sv *Server) WriteTimeline(w io.Writer, id int) error {
 	info, ok := sv.Job(id)
 	if !ok {
-		return fmt.Errorf("serve: no job %d", id)
+		return fmt.Errorf("%w: %d", ErrUnknownJob, id)
 	}
 	return sv.ses.writeTimeline(w, info.Name)
 }

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 
 	"repro/internal/des"
 	"repro/internal/sched"
@@ -36,6 +37,14 @@ type Header struct {
 	Quota       int            `json:"quota,omitempty"`
 	Quotas      map[string]int `json:"quotas,omitempty"`
 	PhysBudget  int            `json:"physBudget"`
+
+	// Shard and Epoch are the fleet header: when this daemon serves as one
+	// shard of a gpmrfleet, the router's registration handshake stamps the
+	// shard's identity and the ring epoch it joined at, so a directory of
+	// shard traces remains a complete, deterministically mergeable record
+	// of the whole multi-shard run (gpmrfleet -replay).
+	Shard string `json:"shard,omitempty"`
+	Epoch int    `json:"epoch,omitempty"`
 }
 
 // Arrival is one submission crossing the service boundary, stamped with
@@ -48,6 +57,9 @@ type Arrival struct {
 	Params  Params   `json:"params,omitempty"`
 	Weight  int      `json:"weight,omitempty"`
 	MinGang int      `json:"minGang,omitempty"`
+	// Tag is the submitter's correlation handle (the fleet router keys its
+	// job table on it); it passes through admission untouched.
+	Tag string `json:"tag,omitempty"`
 }
 
 // Cancel is one cancellation request, aimed at a previously recorded
@@ -86,37 +98,83 @@ func (h Header) policy() (sched.Policy, error) {
 	return sched.Policy{Kind: k, Share: h.Share, NoBackfill: h.NoBackfill}, nil
 }
 
-// TraceWriter streams a live run's boundary events. Write ordering is the
-// engine's application ordering; the writer is engine-confined (never
-// called concurrently).
+// TraceWriter streams a live run's boundary events. Event ordering is the
+// engine's application ordering (events are engine-confined); the header
+// is written lazily — before the first event, or at Flush — so the fleet
+// registration handshake can stamp the shard identity after the server
+// has started but before any job arrives. The mutex covers that one
+// cross-goroutine seam (SetFleet arrives on an HTTP goroutine).
 type TraceWriter struct {
-	w   *bufio.Writer
-	enc *json.Encoder
-	err error
+	mu       sync.Mutex
+	w        *bufio.Writer
+	enc      *json.Encoder
+	hdr      Header
+	wroteHdr bool
+	err      error
 }
 
-// NewTraceWriter starts a trace with its header line.
+// NewTraceWriter starts a trace; the header line is emitted before the
+// first event (or at Flush, so an event-free trace is still replayable).
 func NewTraceWriter(w io.Writer, h Header) *TraceWriter {
 	bw := bufio.NewWriter(w)
-	tw := &TraceWriter{w: bw, enc: json.NewEncoder(bw)}
-	tw.write(h)
-	return tw
+	return &TraceWriter{w: bw, enc: json.NewEncoder(bw), hdr: h}
 }
 
+// SetFleet stamps the fleet header (shard identity, ring epoch at join).
+// It fails once the header has been written — fleet identity must be
+// settled before the first recorded event.
+func (t *TraceWriter) SetFleet(shard string, epoch int) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.wroteHdr {
+		if t.hdr.Shard == shard && t.hdr.Epoch == epoch {
+			return nil
+		}
+		return fmt.Errorf("serve: trace header already written (shard %q epoch %d)", t.hdr.Shard, t.hdr.Epoch)
+	}
+	t.hdr.Shard, t.hdr.Epoch = shard, epoch
+	return nil
+}
+
+// write encodes one value, emitting the header first if still pending.
+// Callers hold t.mu.
 func (t *TraceWriter) write(v any) {
+	if !t.wroteHdr {
+		t.wroteHdr = true
+		if t.err == nil {
+			t.err = t.enc.Encode(t.hdr)
+		}
+	}
 	if t.err == nil {
 		t.err = t.enc.Encode(v)
 	}
 }
 
 // Arrive records one submission.
-func (t *TraceWriter) Arrive(a Arrival) { t.write(Event{Arrive: &a}) }
+func (t *TraceWriter) Arrive(a Arrival) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.write(Event{Arrive: &a})
+}
 
 // Cancel records one cancellation.
-func (t *TraceWriter) Cancel(c Cancel) { t.write(Event{Cancel: &c}) }
+func (t *TraceWriter) Cancel(c Cancel) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.write(Event{Cancel: &c})
+}
 
-// Flush drains the buffer and returns the first error seen.
+// Flush writes the header if no event has, drains the buffer, and
+// returns the first error seen.
 func (t *TraceWriter) Flush() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.wroteHdr {
+		t.wroteHdr = true
+		if t.err == nil {
+			t.err = t.enc.Encode(t.hdr)
+		}
+	}
 	if t.err != nil {
 		return t.err
 	}

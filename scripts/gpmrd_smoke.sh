@@ -72,7 +72,32 @@ EOF
 # An unknown job is a clean 404.
 [ "$(curl -sS -o /dev/null -w '%{http_code}' "$base/jobs/99/timeline")" = 404 ]
 
+# Drain race: submissions racing SIGINT must get terminal HTTP answers
+# (202/400/429/503) or fail cleanly at dial time (curl exit 7 once the
+# listener is gone) — never a torn connection (exit 52/56).
+racepids=""
+for i in $(seq 1 8); do
+  curl -sS -o /dev/null -w '%{http_code}\n' -X POST "$base/jobs" \
+    -d "{\"tenant\":\"race\",\"kind\":\"wo\",\"params\":{\"bytes\":1048576,\"gpus\":2,\"seed\":$((100 + i))}}" \
+    >>"$workdir/race.codes" 2>>"$workdir/race.log" &
+  racepids="$racepids $!"
+done
+sleep 0.05
 kill -INT "$pid"
+for rp in $racepids; do
+  rc=0
+  wait "$rp" || rc=$?
+  case "$rc" in
+    0|7) ;;
+    *) echo "race submission died with curl exit $rc (torn connection?)"
+       cat "$workdir/race.log"; exit 1 ;;
+  esac
+done
+if grep -qvE '^(000|202|400|429|503)$' "$workdir/race.codes"; then
+  echo "race submission got a non-terminal answer:"
+  cat "$workdir/race.codes"
+  exit 1
+fi
 wait "$pid"
 
 # Replay the recorded trace offline: the report must match byte for byte.
