@@ -188,6 +188,14 @@ func main() {
 			bench.RenderOnline(out, rows)
 			return nil
 		}},
+		{"slo", "SLO scheduling sweep: per-class deadline attainment and shed rate", func() error {
+			rows, err := bench.SLO(o)
+			if err != nil {
+				return err
+			}
+			bench.RenderSLO(out, rows)
+			return nil
+		}},
 		{"fleet", "consistent-hash fleet routing: plain vs bounded-load", func() error {
 			rows, err := bench.Fleet(o)
 			if err != nil {

@@ -57,6 +57,9 @@ func main() {
 	perNode := flag.Int("gpus-per-node", 4, "ranks packed per node")
 	policy := flag.String("policy", "weighted-fair", "admission policy: fifo-exclusive|fixed-share|weighted-fair")
 	share := flag.Int("share", 4, "per-gang rank cap (fixed-share only)")
+	reserve := flag.Bool("reserve", false, "EASY backfill reservation for the blocked queue head")
+	preempt := flag.Bool("preempt", false, "checkpoint-preempt running gangs for higher classes (also enables DELETE of running jobs)")
+	elastic := flag.Bool("elastic", false, "grow molded gangs back toward their request when ranks free up (weighted-fair only)")
 	queue := flag.Int("queue", 16, "admission queue bound (negative = unbounded)")
 	quota := flag.Int("quota", 0, "per-tenant in-flight cap (0 = unlimited)")
 	scale := flag.Float64("timescale", 1, "virtual seconds per wall second at the boundary")
@@ -94,6 +97,7 @@ func main() {
 		queue: *queue, quota: *quota, scale: *scale, workers: *workers, shards: *shards,
 		phys: *phys, keepOutputs: *keep, shardID: *shardID, ringEpoch: *ringEpoch,
 		jobTable: *jobTable, tracePath: *tracePath, grace: *grace,
+		reserve: *reserve, preempt: *preempt, elastic: *elastic,
 	}
 	if err := live(opts); err != nil {
 		log.Fatalf("gpmrd: %v", err)
@@ -161,6 +165,7 @@ type liveOptions struct {
 	addr, policy, shardID, jobTable, tracePath    string
 	gpus, perNode, share, queue, quota            int
 	workers, shards, phys, keepOutputs, ringEpoch int
+	reserve, preempt, elastic                     bool
 	scale                                         float64
 	grace                                         time.Duration
 }
@@ -168,6 +173,10 @@ type liveOptions struct {
 func live(o liveOptions) error {
 	pol, err := parsePolicy(o.policy, o.share)
 	if err != nil {
+		return err
+	}
+	pol.Reserve, pol.Preempt, pol.Elastic = o.reserve, o.preempt, o.elastic
+	if err := pol.Validate(o.gpus); err != nil {
 		return err
 	}
 	cc := cluster.DefaultConfig(o.gpus)

@@ -1,0 +1,206 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/des"
+	"repro/internal/sched"
+	"repro/internal/serve"
+	"repro/internal/workload"
+)
+
+// The SLO experiment: the online sweep's open system, but with the
+// arrival stream split into service classes — interactive queries under
+// tight deadlines, standard analytics that would rather be demoted than
+// turned away, and elastic batch scans with no deadline at all — run
+// once under plain weighted-fair and once with the SLO machinery
+// (EASY reservation, class preemption, elastic grow-back) switched on.
+// Both cells see byte-identical arrivals, so the table isolates what the
+// scheduling upgrades buy: deadline attainment per class against the
+// shed/reject rate. Every run goes through serve's deterministic replay
+// path, so the table is bit-identical across runs, backends, and shard
+// counts.
+
+// SLOGPUs is the shared cluster for the SLO sweep.
+const SLOGPUs = 16
+
+// SLOJobs is the arrival-stream length per load point.
+const SLOJobs = 18
+
+// SLOMaxQueue bounds the admission queue.
+const SLOMaxQueue = 12
+
+// sloGapsMs are the mean inter-arrival gaps swept, loosest to tightest.
+var sloGapsMs = []float64{8, 4, 2}
+
+// sloDeadlines per class, relative to arrival.
+const (
+	sloInteractiveDeadline = 25 * des.Millisecond
+	sloStandardDeadline    = 60 * des.Millisecond
+)
+
+// sloStream builds the seeded three-class arrival stream for one load
+// point. A pure function of (options, gap), so both policy cells at a
+// given load see byte-identical arrivals.
+func sloStream(o Options, gapMs float64) []serve.Event {
+	rng := workload.NewRNG(o.Seed + 0x2545f491)
+	var evs []serve.Event
+	var at des.Time
+	for i := 0; i < SLOJobs; i++ {
+		u := rng.Float64()
+		at += des.FromSeconds(gapMs / 1e3 * -math.Log(1-u))
+		seed := int64(o.Seed) + int64(i)*1000
+		a := &serve.Arrival{Seq: i, At: at, Tenant: onlineTenants[i%len(onlineTenants)]}
+		switch rng.Intn(4) {
+		case 0:
+			// Interactive query: small, tight deadline, reject on a
+			// predicted miss (the user would rather know immediately).
+			a.Kind = "wo"
+			a.Params = serve.Params{"bytes": 4 << 20, "gpus": 2, "seed": seed}
+			a.MinGang = 2 // rigid: a latency query cannot mold down
+			a.Class, a.Deadline = "interactive", sloInteractiveDeadline
+		case 1:
+			// Standard analytics: moderate deadline, demoted to batch on a
+			// predicted miss rather than turned away.
+			a.Kind = "kmc"
+			a.Params = serve.Params{"points": 4 << 20, "gpus": 4, "seed": seed}
+			a.MinGang = 4
+			a.Class, a.Deadline, a.Downgrade = "standard", sloStandardDeadline, true
+		case 2:
+			// Batch scan: no deadline, molds down under load and opts into
+			// elastic grow-back.
+			a.Kind = "sio"
+			a.Params = serve.Params{"elements": 64 << 20, "gpus": 8, "seed": seed, "chunkcap": 1 << 20}
+			a.Class, a.Elastic = "batch", true
+		default:
+			// Large batch scan, likewise elastic.
+			a.Kind = "sio"
+			a.Params = serve.Params{"elements": 128 << 20, "gpus": 12, "seed": seed, "chunkcap": 1 << 20}
+			a.Class, a.Elastic = "batch", true
+		}
+		evs = append(evs, serve.Event{Arrive: a})
+	}
+	return evs
+}
+
+// sloConfigs are the cells compared at each load point: exclusive FIFO
+// (where the admission predictor sees the whole machine's drain ahead of
+// every job, so infeasible deadlines are rejected or downgraded at
+// arrival), plain weighted-fair, and weighted-fair with the SLO
+// scheduling upgrades.
+type sloConfig struct {
+	Name, Policy              string
+	Reserve, Preempt, Elastic bool
+}
+
+func sloConfigs() []sloConfig {
+	return []sloConfig{
+		{Name: "fifo-exclusive", Policy: "fifo-exclusive"},
+		{Name: "weighted-fair", Policy: "weighted-fair"},
+		{Name: "weighted-fair+slo", Policy: "weighted-fair", Reserve: true, Preempt: true, Elastic: true},
+	}
+}
+
+// SLORow is one (load, config) cell of the sweep.
+type SLORow struct {
+	GapMs  float64
+	Config string
+
+	Admitted   int64
+	Shed       int64 // queue-full sheds
+	SLORej     int64 // predicted-miss rejects (interactive)
+	Downgraded int64 // predicted-miss demotions (standard)
+	Preempts   int64 // checkpoint-restarts across the run
+
+	IntMet, IntJobs int64 // interactive deadline attainment
+	StdMet, StdJobs int64 // standard deadline attainment
+	BatchDone       int64
+
+	P95Int   des.Time // p95 latency over interactive completions
+	Makespan des.Time
+}
+
+// SLO sweeps offered load × SLO configuration through the serving
+// layer's replay path and reports per-class deadline attainment and
+// shed/reject rates.
+func SLO(o Options) ([]SLORow, error) {
+	o = o.withDefaults()
+	var rows []SLORow
+	for _, gap := range sloGapsMs {
+		evs := sloStream(o, gap)
+		for _, cfg := range sloConfigs() {
+			h := serve.Header{
+				Version:     serve.TraceVersion,
+				Policy:      cfg.Policy,
+				GPUs:        SLOGPUs,
+				GPUsPerNode: 4,
+				MaxQueue:    SLOMaxQueue,
+				PhysBudget:  o.PhysBudget,
+				Reserve:     cfg.Reserve,
+				Preempt:     cfg.Preempt,
+				Elastic:     cfg.Elastic,
+			}
+			o.Obs.SetPrefix(fmt.Sprintf("%.0fms/%s/", gap, cfg.Name))
+			rep, err := serve.Replay(&serve.Trace{Header: h, Events: evs},
+				serve.ReplayOptions{Workers: o.Workers, Shards: o.Shards, Obs: o.Obs})
+			if err != nil {
+				o.Obs.SetPrefix("")
+				return nil, fmt.Errorf("slo: gap %.0fms config %s: %w", gap, cfg.Name, err)
+			}
+			s := rep.Stats
+			row := SLORow{
+				GapMs:    gap,
+				Config:   cfg.Name,
+				Admitted: s.Admitted,
+				Shed:     s.RejectedShed,
+				SLORej:   s.RejectedSLO,
+				Makespan: rep.Cluster.Makespan,
+			}
+			if cs := s.Classes["interactive"]; cs != nil {
+				row.IntMet, row.IntJobs = cs.Met, cs.Met+cs.Missed
+			}
+			if cs := s.Classes["standard"]; cs != nil {
+				row.StdMet, row.StdJobs = cs.Met, cs.Met+cs.Missed
+			}
+			if cs := s.Classes["batch"]; cs != nil {
+				row.BatchDone = cs.Done
+			}
+			for i := range rep.Jobs {
+				if rep.Jobs[i].Downgraded {
+					row.Downgraded++
+				}
+			}
+			for i := range rep.Cluster.Jobs {
+				row.Preempts += int64(rep.Cluster.Jobs[i].Preempts)
+			}
+			row.P95Int = rep.Cluster.LatencyPercentile(95, func(j *sched.JobTrace) bool {
+				return j.Class == sched.Interactive
+			})
+			rows = append(rows, row)
+		}
+	}
+	o.Obs.SetPrefix("")
+	return rows, nil
+}
+
+// RenderSLO writes the SLO sweep.
+func RenderSLO(w io.Writer, rows []SLORow) {
+	fmt.Fprintf(w, "SLO scheduling — %d-job three-class streams on %d shared GPUs, queue bound %d\n",
+		SLOJobs, SLOGPUs, SLOMaxQueue)
+	fmt.Fprintf(w, "deadlines: interactive %v (reject on predicted miss), standard %v (downgrade), batch none (elastic)\n",
+		sloInteractiveDeadline, sloStandardDeadline)
+	fmt.Fprintf(w, "%8s %-18s %5s %5s %4s %4s %5s %7s %7s %6s %12s\n",
+		"gap", "config", "admit", "shed", "rej", "down", "preem", "int met", "std met", "batch", "p95 int")
+	lastGap := -1.0
+	for _, r := range rows {
+		if r.GapMs != lastGap && lastGap >= 0 {
+			fmt.Fprintln(w)
+		}
+		lastGap = r.GapMs
+		fmt.Fprintf(w, "%6.0fms %-18s %5d %5d %4d %4d %5d %3d/%-3d %3d/%-3d %6d %12v\n",
+			r.GapMs, r.Config, r.Admitted, r.Shed, r.SLORej, r.Downgraded, r.Preempts,
+			r.IntMet, r.IntJobs, r.StdMet, r.StdJobs, r.BatchDone, r.P95Int)
+	}
+}

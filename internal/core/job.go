@@ -103,7 +103,7 @@ func (j *Job[V]) Run() (*Result[V], error) {
 	cl := cluster.New(eng, *cfg.Cluster)
 	defer cl.Close()
 	var res *Result[V]
-	if err := j.launchOn(eng, cl, identityRanks(cfg.GPUs), func(r *Result[V]) { res = r }); err != nil {
+	if _, err := j.launchOn(eng, cl, identityRanks(cfg.GPUs), func(r *Result[V]) { res = r }); err != nil {
 		return nil, err
 	}
 	if ss != nil {
@@ -131,13 +131,15 @@ func (j *Job[V]) MustRun() *Result[V] {
 // (the machine is whatever cl is). done fires, in simulated time from one
 // of the job's own processes, when the job's last process finishes; the
 // Result's Trace carries the job-relative makespan and the job's own share
-// of the shared fabric's traffic.
-func (j *Job[V]) launchOn(eng *des.Engine, cl *cluster.Cluster, ranks []int, done func(*Result[V])) error {
+// of the shared fabric's traffic. The returned stop handle quiesces this
+// launch at its next chunk boundary (checkpoint-preemption; see
+// Scheduled.PreemptLaunch) — callers that never preempt may discard it.
+func (j *Job[V]) launchOn(eng *des.Engine, cl *cluster.Cluster, ranks []int, done func(*Result[V])) (func(), error) {
 	if err := j.Validate(); err != nil {
-		return err
+		return nil, err
 	}
 	if len(ranks) == 0 {
-		return errors.New("core: launch needs a non-empty gang")
+		return nil, errors.New("core: launch needs a non-empty gang")
 	}
 	cfg := j.Config
 	cfg.GPUs = len(ranks)
@@ -161,11 +163,11 @@ func (j *Job[V]) launchOn(eng *des.Engine, cl *cluster.Cluster, ranks []int, don
 	}
 	cfg, err := cfg.normalize()
 	if err != nil {
-		return err
+		return nil, err
 	}
 	g, err := newGang(cl, ranks)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	rt := &runtime[V]{
 		job:    j,
@@ -202,7 +204,7 @@ func (j *Job[V]) launchOn(eng *des.Engine, cl *cluster.Cluster, ranks []int, don
 		}
 		done(rt.collect(p.Now()))
 	})
-	return nil
+	return rt.sched.quiesce, nil
 }
 
 // collect assembles the job's Result at completion time now.
@@ -216,6 +218,7 @@ func (rt *runtime[V]) collect(now des.Time) *Result[V] {
 			Ranks:      rt.traces,
 			WireBytes:  rt.g.wireBytes,
 			LocalBytes: rt.g.localBytes,
+			Preempted:  rt.sched.stopped,
 		},
 	}
 	if rt.cfg.GatherOutput {
@@ -285,6 +288,16 @@ type Runnable interface {
 	LaunchOn(eng *des.Engine, cl *cluster.Cluster, ranks []int, done func(*Trace)) error
 }
 
+// Preemptible marks a Runnable whose in-flight launch can be asked to
+// quiesce at a chunk boundary — GPMR's checkpoint: chunk completion is
+// the only instant where no device-resident state is in motion, so it is
+// where a launch can stop cleanly. The job-level scheduler uses it for
+// class preemption and elastic grow-back. See Scheduled.PreemptLaunch.
+type Preemptible interface {
+	Runnable
+	PreemptLaunch() bool
+}
+
 // Scheduled adapts one generic Job for the job-level scheduler and
 // captures its Result when it completes, so callers can check scheduled
 // output against exclusive runs.
@@ -292,6 +305,9 @@ type Scheduled[V any] struct {
 	Job *Job[V]
 	// Result is populated when the scheduled job completes.
 	Result *Result[V]
+
+	// stop quiesces the most recent launch (nil before the first one).
+	stop func()
 }
 
 // RunName implements Runnable.
@@ -309,10 +325,32 @@ func (s *Scheduled[V]) ValidateJob() error {
 	return err
 }
 
-// LaunchOn implements Runnable.
+// LaunchOn implements Runnable. Relaunching after a preemption is safe:
+// chunks are read-only inputs and every launch builds a fresh runtime, so
+// a restarted job reproduces the output an uninterrupted run would have.
 func (s *Scheduled[V]) LaunchOn(eng *des.Engine, cl *cluster.Cluster, ranks []int, done func(*Trace)) error {
-	return s.Job.launchOn(eng, cl, ranks, func(res *Result[V]) {
+	stop, err := s.Job.launchOn(eng, cl, ranks, func(res *Result[V]) {
 		s.Result = res
 		done(res.Trace)
 	})
+	if err != nil {
+		return err
+	}
+	s.stop = stop
+	return nil
+}
+
+// PreemptLaunch implements Preemptible: ask the in-flight launch to
+// quiesce at its next chunk boundary. The launch then drains — in-flight
+// chunks finish mapping, the shuffle and reduce consume whatever was
+// delivered — and completes with Trace.Preempted set; the scheduler
+// discards the partial output and requeues the job for a deterministic
+// restart from scratch. Reports false before the first launch; calling it
+// after a launch has completed is harmless (the handle is stale).
+func (s *Scheduled[V]) PreemptLaunch() bool {
+	if s.stop == nil {
+		return false
+	}
+	s.stop()
+	return true
 }

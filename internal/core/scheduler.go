@@ -99,6 +99,11 @@ type scheduler struct {
 	failed    []bool // per-rank fail-stop flags
 	done      int
 	cond      *des.Cond // starved ranks park here awaiting requeue/completion
+
+	// stopped quiesces the queues for checkpoint-preemption: next hands
+	// out no more chunks, so every rank finishes its in-flight chunk and
+	// drains the normal end-of-map → shuffle → reduce tail.
+	stopped bool
 }
 
 // newScheduler distributes chunks round-robin across ranks; assign may
@@ -143,7 +148,7 @@ func newScheduler(eng *des.Engine, chunks []Chunk, cfg Config, g *gang, assign f
 // In resilient mode the call may park until the outcome is decided.
 func (s *scheduler) next(p *des.Proc, rank int) (assignment, bool) {
 	for {
-		if s.failed[rank] {
+		if s.stopped || s.failed[rank] {
 			return assignment{}, false
 		}
 		if idx, ok := s.popHead(rank); ok {
@@ -299,6 +304,19 @@ func (s *scheduler) complete(idx, rank int) bool {
 // isDone reports whether some copy of the chunk already delivered; a rank
 // holding another copy abandons it without mapping.
 func (s *scheduler) isDone(idx int) bool { return s.state[idx] == chunkDone }
+
+// quiesce stops the dynamic queues at the next chunk boundary: ranks
+// already mapping a chunk finish it (its shuffle output is delivered and
+// reduced as usual), everyone else gets no more work, and the job drains
+// through its normal end-of-map tail. Parked resilient ranks are woken so
+// they can observe the stop.
+func (s *scheduler) quiesce() {
+	if s.stopped {
+		return
+	}
+	s.stopped = true
+	s.cond.Broadcast()
+}
 
 // fail marks rank f dead and requeues its lost work: everything still
 // queued to it plus every undelivered chunk it was running (device-

@@ -117,6 +117,12 @@ type Trace struct {
 	// WireBytes is total cross-node virtual bytes; LocalBytes intra-node.
 	WireBytes  int64
 	LocalBytes int64
+
+	// Preempted marks a launch that was asked to quiesce
+	// (Scheduled.PreemptLaunch) and drained early; its output is partial
+	// and must be discarded — the job-level scheduler requeues the job
+	// for a restart from scratch.
+	Preempted bool
 }
 
 // StealStats aggregates chunk-shift provenance across a job's ranks.

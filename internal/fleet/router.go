@@ -52,6 +52,11 @@ type Config struct {
 	SubmitRetries int
 	RetryBackoff  time.Duration
 	SubmitTimeout time.Duration
+	// RetryAfterCap bounds how long the router honors a shard's
+	// Retry-After header (429 backpressure and retried 5xx): the shard
+	// predicts its own queue drain, but the router will not stall a
+	// submission longer than this per try (default 2s).
+	RetryAfterCap time.Duration
 
 	// SkewThreshold triggers queue rebalancing: when the deepest shard
 	// queue exceeds the shallowest by at least this many jobs, one queued
@@ -92,6 +97,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SubmitTimeout <= 0 {
 		c.SubmitTimeout = 15 * time.Second
+	}
+	if c.RetryAfterCap <= 0 {
+		c.RetryAfterCap = 2 * time.Second
 	}
 	if c.SkewThreshold == 0 {
 		c.SkewThreshold = 4
@@ -409,7 +417,10 @@ func (rt *Router) route(req serve.Request, exclude map[string]bool) (serve.JobIn
 }
 
 // postJob posts one submission to one shard with retry/backoff on
-// transport errors and transient 5xx.
+// transport errors and transient 5xx. A Retry-After header on a 429 or
+// retried 5xx overrides the exponential backoff (capped at
+// RetryAfterCap): the shard predicts its own queue drain, so its hint
+// beats a blind schedule.
 func (rt *Router) postJob(shardID string, req serve.Request) (serve.JobInfo, int, error) {
 	rt.mu.Lock()
 	url := rt.shards[shardID].URL
@@ -419,11 +430,17 @@ func (rt *Router) postJob(shardID string, req serve.Request) (serve.JobInfo, int
 		return serve.JobInfo{}, 0, err
 	}
 	backoff := rt.cfg.RetryBackoff
+	var wait time.Duration // next try's delay, when a Retry-After hint overrides backoff
 	var lastErr error
 	for try := 0; try <= rt.cfg.SubmitRetries; try++ {
 		if try > 0 {
-			time.Sleep(backoff)
+			d := backoff
 			backoff *= 2
+			if wait > 0 {
+				d = wait
+				wait = 0
+			}
+			time.Sleep(d)
 			rt.mu.Lock()
 			rt.stats.retries++
 			rt.mu.Unlock()
@@ -435,6 +452,7 @@ func (rt *Router) postJob(shardID string, req serve.Request) (serve.JobInfo, int
 		}
 		code := resp.StatusCode
 		if code >= 500 && code != http.StatusServiceUnavailable {
+			wait = rt.retryAfterHint(resp)
 			drainBody(resp)
 			lastErr = fmt.Errorf("fleet: shard %s answered %d", shardID, code)
 			continue
@@ -447,10 +465,34 @@ func (rt *Router) postJob(shardID string, req serve.Request) (serve.JobInfo, int
 				continue
 			}
 		}
+		if code == http.StatusTooManyRequests && try < rt.cfg.SubmitRetries {
+			if d := rt.retryAfterHint(resp); d > 0 {
+				// Backpressure with a drain prediction: wait it out and
+				// retry the same shard instead of surfacing the reject.
+				wait = d
+				drainBody(resp)
+				lastErr = fmt.Errorf("fleet: shard %s shedding (retry after %v)", shardID, d)
+				continue
+			}
+		}
 		drainBody(resp)
 		return info, code, nil
 	}
 	return serve.JobInfo{}, 0, lastErr
+}
+
+// retryAfterHint parses a response's Retry-After seconds, capped at
+// RetryAfterCap; 0 when absent or unparseable.
+func (rt *Router) retryAfterHint(resp *http.Response) time.Duration {
+	secs, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || secs <= 0 {
+		return 0
+	}
+	d := time.Duration(secs) * time.Second
+	if d > rt.cfg.RetryAfterCap {
+		d = rt.cfg.RetryAfterCap
+	}
+	return d
 }
 
 // probeLoop is the router's heartbeat: health-check every shard, scrape

@@ -334,3 +334,78 @@ func TestMergeOrderAndSummary(t *testing.T) {
 		t.Fatalf("merge mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
 	}
 }
+
+// TestRouterHonorsRetryAfter: a shard shedding with a Retry-After drain
+// prediction gets retried on that schedule — the hint overrides the
+// exponential backoff, capped at RetryAfterCap — and the submission
+// still lands on the same shard once the queue opens up. The same cap
+// governs a transient 5xx carrying the header.
+func TestRouterHonorsRetryAfter(t *testing.T) {
+	const cap = 60 * time.Millisecond
+	run := func(t *testing.T, firstAnswer func(w http.ResponseWriter)) {
+		var mu sync.Mutex
+		var stamps []time.Time
+		mux := http.NewServeMux()
+		mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
+			mu.Lock()
+			stamps = append(stamps, time.Now())
+			n := len(stamps)
+			mu.Unlock()
+			if n == 1 {
+				// Advertise a drain far beyond the cap: the router must
+				// wait capped, not the full hint, and not the 1ms backoff.
+				w.Header().Set("Retry-After", "7")
+				firstAnswer(w)
+				return
+			}
+			w.WriteHeader(http.StatusAccepted)
+			json.NewEncoder(w).Encode(serve.JobInfo{ID: 0, Tenant: "ana", Kind: "wo", Status: "queued"})
+		})
+		mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) { fmt.Fprintln(w, "ok") })
+		mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, r *http.Request) { fmt.Fprintln(w, "[]") })
+		mux.HandleFunc("POST /fleet/register", func(w http.ResponseWriter, r *http.Request) { fmt.Fprintln(w, "{}") })
+		hs := httptest.NewServer(mux)
+		defer hs.Close()
+
+		rt, err := New(Config{
+			Shards:        []Shard{{ID: "s0", URL: hs.URL}},
+			SubmitRetries: 2,
+			RetryBackoff:  time.Millisecond,
+			RetryAfterCap: cap,
+			Logf:          quiet,
+		})
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		st := rt.Submit(serve.Request{Tenant: "ana", Kind: "wo", Params: serve.Params{"bytes": 1 << 20, "gpus": 2, "seed": 1}})
+		if st.Code != http.StatusAccepted {
+			t.Fatalf("submit: status %d (%s)", st.Code, st.Err)
+		}
+		if st.Job.Shard != "s0" {
+			t.Fatalf("job landed on %q, want the hinting shard s0", st.Job.Shard)
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		if len(stamps) != 2 {
+			t.Fatalf("shard saw %d posts, want 2", len(stamps))
+		}
+		gap := stamps[1].Sub(stamps[0])
+		if gap < cap-5*time.Millisecond {
+			t.Errorf("retry after %v — the shard's Retry-After hint was ignored (backoff is 1ms)", gap)
+		}
+		if gap > 2*time.Second {
+			t.Errorf("retry after %v — the 7s hint was not capped at %v", gap, cap)
+		}
+	}
+	t.Run("429", func(t *testing.T) {
+		run(t, func(w http.ResponseWriter) {
+			w.WriteHeader(http.StatusTooManyRequests)
+			json.NewEncoder(w).Encode(serve.JobInfo{Status: "rejected", Reason: "queue full (shed)"})
+		})
+	})
+	t.Run("5xx", func(t *testing.T) {
+		run(t, func(w http.ResponseWriter) {
+			http.Error(w, "transient", http.StatusInternalServerError)
+		})
+	})
+}

@@ -1,0 +1,79 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/des"
+	"repro/internal/workload"
+)
+
+// TestMD1Calibration cross-checks the open queueing system against
+// textbook theory. Under FIFOExclusive the cluster is exactly one server:
+// jobs run one at a time, and identical jobs have a deterministic service
+// time S. Feed it seeded-Poisson arrivals at offered load ρ and the
+// system is M/D/1, whose mean queueing delay is
+//
+//	Wq = ρ·S / (2·(1−ρ))
+//
+// — an independent distributional prediction, not an identity over the
+// measured counters (Little's law on our own averages would be). The
+// measured mean wait must land near it, and the measured utilisation
+// near the offered load. Tolerances are wide because one finite seeded
+// run of n jobs carries O(1/√n) sampling noise — this is a calibration
+// test for the simulator's queueing behaviour, not a statistics exam.
+func TestMD1Calibration(t *testing.T) {
+	// Deterministic service time of the fixture job, measured solo.
+	solo, err := Run(cc16(), Policy{Kind: FIFOExclusive},
+		[]JobSpec{{At: 0, Job: makeJob("solo", 4, 4, 128)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	S := solo.Jobs[0].Service()
+	if S <= 0 {
+		t.Fatalf("fixture service time %v", S)
+	}
+
+	const (
+		n   = 120
+		rho = 0.6
+	)
+	meanGap := S.Seconds() / rho
+	rng := workload.NewRNG(0x9e3779b9)
+	var at des.Time
+	specs := make([]JobSpec, 0, n)
+	for i := 0; i < n; i++ {
+		u := rng.Float64()
+		at += des.FromSeconds(-math.Log(1-u) * meanGap)
+		specs = append(specs, JobSpec{At: at, Job: makeJob(fmt.Sprintf("j%03d", i), 4, 4, 128)})
+	}
+	ct, err := Run(cc16(), Policy{Kind: FIFOExclusive}, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Every job's service must be the deterministic S — that is what makes
+	// the system M/D/1 rather than M/G/1.
+	for i := range ct.Jobs {
+		if ct.Jobs[i].Service() != S {
+			t.Fatalf("job %d service %v, want deterministic %v", i, ct.Jobs[i].Service(), S)
+		}
+	}
+
+	wq := ct.MeanWait().Seconds()
+	pred := rho * S.Seconds() / (2 * (1 - rho))
+	t.Logf("S=%v  measured Wq=%.4gs  M/D/1 Wq=%.4gs  util=%.3f (offered %.2f)",
+		S, wq, pred, float64(n)*S.Seconds()/ct.Makespan.Seconds(), rho)
+	if wq < 0.5*pred || wq > 2.0*pred {
+		t.Errorf("mean wait %.3gs outside [0.5, 2.0]x the M/D/1 prediction %.3gs (rho=%.2f, S=%v)",
+			wq, pred, rho, S)
+	}
+
+	// Utilisation: the server is busy n·S out of the makespan; the offered
+	// load is rho. A finite Poisson run's arrival span wobbles by ~1/√n.
+	util := float64(n) * S.Seconds() / ct.Makespan.Seconds()
+	if util < rho*0.8 || util > rho*1.2 {
+		t.Errorf("utilisation %.3f outside 20%% of offered load %.2f", util, rho)
+	}
+}

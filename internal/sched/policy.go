@@ -68,6 +68,48 @@ func ParsePolicyKind(name string) (PolicyKind, error) {
 	return 0, fmt.Errorf("%w: %q", ErrUnknownPolicy, name)
 }
 
+// Class is a job's service class. Higher classes are queued ahead of
+// lower ones; under Policy.Preempt they may also checkpoint-preempt
+// running lower-class gangs. The zero value, Batch, reproduces the
+// pre-class scheduler exactly.
+type Class int
+
+const (
+	// Batch is best-effort work with no ordering privilege (the default).
+	Batch Class = iota
+	// Standard sits between batch and interactive traffic.
+	Standard
+	// Interactive is the highest class: tight deadlines, first in queue.
+	Interactive
+)
+
+// String names the class for traces, reports, and the HTTP boundary.
+func (c Class) String() string {
+	switch c {
+	case Batch:
+		return "batch"
+	case Standard:
+		return "standard"
+	case Interactive:
+		return "interactive"
+	}
+	return "unknown"
+}
+
+// ParseClass resolves a class name as printed by Class.String; the empty
+// string is Batch, so callers that never mention classes are untouched.
+func ParseClass(name string) (Class, error) {
+	if name == "" {
+		return Batch, nil
+	}
+	for _, c := range []Class{Batch, Standard, Interactive} {
+		if c.String() == name {
+			return c, nil
+		}
+	}
+	return 0, fmt.Errorf("%w: %q", ErrBadClass, name)
+}
+
 // Policy configures admission for one scheduler run.
 type Policy struct {
 	Kind PolicyKind
@@ -80,11 +122,30 @@ type Policy struct {
 	// by default, when the queue head does not fit on the idle ranks, the
 	// scheduler scans past it and admits any later job that does. The
 	// head is always tried first, so a head that fits is never overtaken;
-	// a head demanding more ranks than are ever simultaneously idle can
-	// still be delayed by a continuous stream of small jobs (no
-	// EASY-style reservation is made for it — future work).
-	// FIFOExclusive never backfills regardless.
+	// without Reserve, a head demanding more ranks than are ever
+	// simultaneously idle can still be delayed by a continuous stream of
+	// small jobs. FIFOExclusive never backfills regardless.
 	NoBackfill bool
+
+	// Reserve makes an EASY-style reservation for a blocked queue head:
+	// the cost model predicts when the running gangs will have freed
+	// enough ranks for the head, and a later job may only backfill if its
+	// own predicted completion lands before that reserved start — so
+	// backfill can no longer starve the head.
+	Reserve bool
+
+	// Preempt lets a blocked higher-class queue head checkpoint-preempt
+	// running lower-class gangs: victims quiesce at their next chunk
+	// boundary, release their ranks, and requeue for a deterministic
+	// restart from scratch (partial output is discarded — jobs are
+	// deterministic, so a restart reproduces the uninterrupted result).
+	Preempt bool
+
+	// Elastic enables grow-back for jobs that opted in (JobSpec.Elastic):
+	// when the queue is empty and a WeightedFair gang that was molded
+	// below its fair share could at least double by relaunching on the
+	// now-idle ranks, it is checkpointed and re-expanded.
+	Elastic bool
 }
 
 // Named validation errors. Policy and submission mistakes must surface as
@@ -95,8 +156,9 @@ var (
 	// ErrBadShare reports a FixedShare cap of zero, negative, or larger
 	// than the cluster.
 	ErrBadShare = errors.New("sched: fixed-share cap outside 1..cluster ranks")
-	// ErrBadWeight reports a negative job weight (zero defaults to 1).
-	ErrBadWeight = errors.New("sched: job weight must be >= 1")
+	// ErrBadWeight reports a negative job weight. Zero is accepted and
+	// defaults to 1, so the error names the actual contract: >= 0.
+	ErrBadWeight = errors.New("sched: job weight must be >= 0 (0 defaults to 1)")
 	// ErrGangTooBig reports a job requesting more ranks than the cluster
 	// has.
 	ErrGangTooBig = errors.New("sched: requested gang larger than cluster")
@@ -111,6 +173,13 @@ var (
 	ErrNoJobs = errors.New("sched: no jobs submitted")
 	// ErrBadCluster reports an unusable cluster shape.
 	ErrBadCluster = errors.New("sched: invalid cluster configuration")
+	// ErrBadClass reports a service class outside the defined set.
+	ErrBadClass = errors.New("sched: unknown service class")
+	// ErrBadDeadline reports a negative deadline.
+	ErrBadDeadline = errors.New("sched: negative deadline")
+	// ErrBadPreempt reports Preempt or Elastic on FIFOExclusive, which
+	// never shares the machine and so has nothing to preempt or grow.
+	ErrBadPreempt = errors.New("sched: Preempt/Elastic require a sharing policy")
 )
 
 // Validate checks the policy against a cluster of totalRanks.
@@ -123,6 +192,9 @@ func (p Policy) Validate(totalRanks int) error {
 		}
 	default:
 		return fmt.Errorf("%w: %d", ErrUnknownPolicy, int(p.Kind))
+	}
+	if p.Kind == FIFOExclusive && (p.Preempt || p.Elastic) {
+		return ErrBadPreempt
 	}
 	return nil
 }

@@ -23,6 +23,24 @@ type JobSpec struct {
 	// molds it onto idle ranks (default 1; ignored by the other
 	// policies).
 	MinGang int
+	// Class is the job's service class (default Batch). Higher classes
+	// queue ahead of lower ones and, under Policy.Preempt, may
+	// checkpoint-preempt running lower-class gangs.
+	Class Class
+	// Deadline is the job's completion SLO relative to arrival (0 =
+	// none). At arrival the cost model predicts queue wait plus service;
+	// a job predicted to miss is rejected — or demoted to Batch when
+	// DowngradeOnMiss is set. The prediction needs the job to implement
+	// core.CostEstimator (core.Scheduled does); otherwise the job is
+	// admitted unchecked.
+	Deadline des.Time
+	// DowngradeOnMiss demotes a predicted-miss job to Batch instead of
+	// rejecting it. The deadline is kept for attainment reporting.
+	DowngradeOnMiss bool
+	// Elastic opts the job into Policy.Elastic grow-back: when it was
+	// molded below its fair share and ranks later idle, it may be
+	// checkpointed and relaunched on a wider gang.
+	Elastic bool
 }
 
 // jobRec tracks one submission through the scheduler.
@@ -33,6 +51,11 @@ type jobRec struct {
 	weight  int
 	minGang int
 
+	class     Class
+	deadline  des.Time
+	downgrade bool // JobSpec.DowngradeOnMiss
+	elastic   bool // JobSpec.Elastic
+
 	arrival   des.Time
 	admit     des.Time
 	finish    des.Time
@@ -41,8 +64,24 @@ type jobRec struct {
 	trace     *core.Trace
 	waiting   bool // in the queue
 	running   bool
-	cancelled bool  // pulled from the queue before admission
+	cancelled bool  // pulled from the queue before admission, or preempt-cancelled
+	rejected  bool  // turned away at arrival by the SLO admission check
 	err       error // LaunchOn failure, job never ran
+
+	// SLO machinery. est caches the cost-model estimate for the granted
+	// gang (set at start, consumed by the EASY reservation walk).
+	// quiescing marks a launch asked to checkpoint-preempt; qCancel and
+	// growPending record why, so requeue knows whether the job is being
+	// cancelled, grown (floorGang forces the relaunch wider), or
+	// restarted behind a higher class.
+	est         des.Time
+	estOK       bool
+	quiescing   bool
+	qCancel     bool
+	growPending bool
+	floorGang   int
+	preempts    int
+	downgraded  bool
 }
 
 // Scheduler is the incremental admission engine: jobs are submitted to a
@@ -73,9 +112,13 @@ type Scheduler struct {
 	// OnStart, if set, fires when a job is placed on its gang; OnDone
 	// fires after its gang is released — with the job's trace, or with a
 	// non-nil error if the launch itself failed (the job never ran).
-	// Cancelled jobs fire neither. Both run at engine time.
-	OnStart func(id int, gang []int)
-	OnDone  func(id int, tr *core.Trace, err error)
+	// Cancelled jobs fire neither. OnRequeue fires when a running job is
+	// checkpoint-preempted: cancelled=false means it re-entered the queue
+	// (preemption or elastic grow-back), true means PreemptCancel tore it
+	// down. All run at engine time.
+	OnStart   func(id int, gang []int)
+	OnDone    func(id int, tr *core.Trace, err error)
+	OnRequeue func(id int, cancelled bool)
 }
 
 // NewScheduler prepares an incremental scheduler for a shared engine and
@@ -153,6 +196,12 @@ func validateSpec(sp JobSpec, totalRanks int) error {
 	if sp.Weight < 0 {
 		return fmt.Errorf("%w: job %q has weight %d", ErrBadWeight, name, sp.Weight)
 	}
+	if sp.Class < Batch || sp.Class > Interactive {
+		return fmt.Errorf("%w: job %q has class %d", ErrBadClass, name, int(sp.Class))
+	}
+	if sp.Deadline < 0 {
+		return fmt.Errorf("%w: job %q has deadline %v", ErrBadDeadline, name, sp.Deadline)
+	}
 	want := sp.Job.GangWant()
 	if want > totalRanks {
 		return fmt.Errorf("%w: job %q wants %d of %d ranks", ErrGangTooBig, name, want, totalRanks)
@@ -187,7 +236,8 @@ func validateSpecs(specs []JobSpec, totalRanks int) error {
 // until arrive runs (Run registers whole batches up front so job IDs follow
 // submission order even when arrivals are out of order).
 func (s *Scheduler) register(sp JobSpec) *jobRec {
-	rec := &jobRec{spec: sp, id: len(s.recs), want: sp.Job.GangWant(), weight: sp.Weight, minGang: sp.MinGang, arrival: sp.At}
+	rec := &jobRec{spec: sp, id: len(s.recs), want: sp.Job.GangWant(), weight: sp.Weight, minGang: sp.MinGang, arrival: sp.At,
+		class: sp.Class, deadline: sp.Deadline, downgrade: sp.DowngradeOnMiss, elastic: sp.Elastic}
 	if rec.weight == 0 {
 		rec.weight = 1
 	}
@@ -199,12 +249,40 @@ func (s *Scheduler) register(sp JobSpec) *jobRec {
 }
 
 // arrive enters a registered job into the admission queue at the current
-// simulated time.
+// simulated time, running the SLO admission check first when the job
+// carries a deadline.
 func (s *Scheduler) arrive(rec *jobRec) {
 	rec.arrival = s.eng.Now()
+	if rec.deadline > 0 {
+		if lat, ok := s.predictLatency(rec); ok && lat > rec.deadline {
+			if !rec.downgrade {
+				rec.rejected = true
+				if r := s.cl.Obs; r.Enabled() {
+					r.Emit(int64(rec.arrival), obs.CatSim, "sched/"+rec.spec.Job.RunName(), "slo.reject",
+						obs.A("class", rec.class.String()))
+				}
+				return
+			}
+			rec.downgraded = true
+			rec.class = Batch
+		}
+	}
 	rec.waiting = true
-	s.queue = append(s.queue, rec)
+	s.enqueue(rec)
 	s.admit()
+}
+
+// enqueue inserts rec by service class — ahead of every strictly lower
+// class, behind its own (stable within a class, so an all-Batch stream
+// keeps exact arrival order and the pre-class queue behaviour).
+func (s *Scheduler) enqueue(rec *jobRec) {
+	i := len(s.queue)
+	for i > 0 && s.queue[i-1].class < rec.class {
+		i--
+	}
+	s.queue = append(s.queue, nil)
+	copy(s.queue[i+1:], s.queue[i:])
+	s.queue[i] = rec
 }
 
 // Register validates and records one job arriving now, returning its ID,
@@ -225,7 +303,7 @@ func (s *Scheduler) Register(sp JobSpec) (int, error) {
 // registered ID.
 func (s *Scheduler) Arrive(id int) {
 	rec := s.recs[id]
-	if rec.waiting || rec.running || rec.cancelled || rec.trace != nil || rec.err != nil {
+	if rec.waiting || rec.running || rec.cancelled || rec.rejected || rec.trace != nil || rec.err != nil {
 		panic(fmt.Sprintf("sched: Arrive(%d) on a job that already arrived", id))
 	}
 	s.arrive(rec)
@@ -290,18 +368,27 @@ func (s *Scheduler) Trace(makespan des.Time) *ClusterTrace {
 		if rec.cancelled {
 			continue
 		}
-		ct.Jobs = append(ct.Jobs, JobTrace{
-			ID:      rec.id,
-			Name:    rec.spec.Job.RunName(),
-			Want:    rec.want,
-			Granted: len(rec.gang),
-			Weight:  rec.weight,
-			Gang:    rec.gang,
-			Arrival: rec.arrival,
-			Admit:   rec.admit,
-			Finish:  rec.finish,
-			Trace:   rec.trace,
-		})
+		jt := JobTrace{
+			ID:         rec.id,
+			Name:       rec.spec.Job.RunName(),
+			Want:       rec.want,
+			Granted:    len(rec.gang),
+			Weight:     rec.weight,
+			Gang:       rec.gang,
+			Class:      rec.class,
+			Deadline:   rec.deadline,
+			Downgraded: rec.downgraded,
+			Preempts:   rec.preempts,
+			Arrival:    rec.arrival,
+			Admit:      rec.admit,
+			Finish:     rec.finish,
+			Trace:      rec.trace,
+		}
+		if rec.rejected {
+			ct.Rejected = append(ct.Rejected, jt)
+			continue
+		}
+		ct.Jobs = append(ct.Jobs, jt)
 	}
 	return ct
 }
@@ -372,8 +459,14 @@ func Run(cc cluster.Config, pol Policy, specs []JobSpec) (*ClusterTrace, error) 
 }
 
 // admit scans the queue in order, starting every job the policy lets onto
-// the idle ranks. Called on each arrival and each completion.
+// the idle ranks. Called on each arrival and each completion (including
+// preemption requeues). A blocked head may trigger class preemption
+// (Policy.Preempt) or take an EASY reservation (Policy.Reserve) that
+// gates backfill behind its predicted start; with the queue drained,
+// Policy.Elastic looks for a molded gang worth growing back.
 func (s *Scheduler) admit() {
+	var resAt des.Time
+	reserved := false
 	i := 0
 	for i < len(s.queue) {
 		rec := s.queue[i]
@@ -382,11 +475,37 @@ func (s *Scheduler) admit() {
 			if !s.pol.backfills() {
 				return
 			}
+			if i == 0 {
+				if s.pol.Preempt && s.preemptFor(rec) {
+					// Victims are draining; hold every admission until
+					// their requeue re-runs admit, so backfill cannot
+					// steal the ranks being freed for the head.
+					return
+				}
+				if s.pol.Reserve {
+					if at, ok := s.reserveStart(s.needFor(rec)); ok {
+						resAt, reserved = at, true
+					}
+				}
+			}
 			i++
 			continue
 		}
+		if reserved && i > 0 {
+			// EASY gate: a later job may only jump the blocked head if it
+			// provably (by the same cost model) finishes before the head's
+			// reserved start. Unpredictable jobs don't get to gamble.
+			est, ok := s.estimate(rec, size)
+			if !ok || s.eng.Now()+est > resAt {
+				i++
+				continue
+			}
+		}
 		s.queue = append(s.queue[:i], s.queue[i+1:]...)
 		s.start(rec, size, i > 0)
+	}
+	if s.pol.Elastic && len(s.queue) == 0 {
+		s.growBack()
 	}
 }
 
@@ -408,21 +527,18 @@ func (s *Scheduler) gangFor(rec *jobRec) (int, bool) {
 		return size, s.nFree >= size
 	case WeightedFair:
 		// Fair share against every job currently in the system.
-		demand := 0
-		for _, r := range s.recs {
-			if r.running || r.waiting {
-				demand += r.weight
-			}
+		size := s.fairShare(rec)
+		floor := rec.minGang
+		if rec.floorGang > floor {
+			// A grow-back relaunch must come back strictly wider than the
+			// gang it gave up, or the checkpoint was wasted motion.
+			floor = rec.floorGang
 		}
-		if demand == 0 {
-			demand = rec.weight
+		if floor > rec.want {
+			floor = rec.want
 		}
-		size := s.cl.Ranks() * rec.weight / demand
-		if size > rec.want {
-			size = rec.want
-		}
-		if size < rec.minGang {
-			size = rec.minGang
+		if size < floor {
+			size = floor
 		}
 		if size < 1 {
 			size = 1
@@ -432,7 +548,7 @@ func (s *Scheduler) gangFor(rec *jobRec) (int, bool) {
 		}
 		// Moldable shrink-to-fit: start on the idle ranks rather than
 		// wait, never below the job's floor.
-		if s.nFree >= rec.minGang {
+		if s.nFree >= floor {
 			size = s.nFree
 			if size > rec.want {
 				size = rec.want
@@ -442,6 +558,25 @@ func (s *Scheduler) gangFor(rec *jobRec) (int, bool) {
 		return 0, false
 	}
 	return 0, false
+}
+
+// fairShare is rec's WeightedFair allocation against every job currently
+// in the system (running or waiting), capped at its request.
+func (s *Scheduler) fairShare(rec *jobRec) int {
+	demand := 0
+	for _, r := range s.recs {
+		if r.running || r.waiting {
+			demand += r.weight
+		}
+	}
+	if demand == 0 {
+		demand = rec.weight
+	}
+	size := s.cl.Ranks() * rec.weight / demand
+	if size > rec.want {
+		size = rec.want
+	}
+	return size
 }
 
 // start places a gang of size ranks and launches the job on it. backfill
@@ -458,9 +593,21 @@ func (s *Scheduler) start(rec *jobRec, size int, backfill bool) {
 	rec.waiting = false
 	rec.running = true
 	s.nRun++
+	if ce, ok := rec.spec.Job.(core.CostEstimator); ok {
+		// Cached for the EASY reservation walk: this launch's predicted
+		// end is admit + est.
+		rec.est, rec.estOK = ce.EstimateCost(s.cl, len(rec.gang)), true
+	}
 	if r := s.cl.Obs; r.Enabled() {
 		stream := "sched/" + rec.spec.Job.RunName()
-		r.Span(int64(rec.arrival), int64(rec.admit), obs.CatSim, stream, "queue.wait")
+		if rec.class != Batch || rec.deadline > 0 {
+			// Class tag only when the submission used SLO features, so
+			// pre-class recordings stay byte-identical.
+			r.Span(int64(rec.arrival), int64(rec.admit), obs.CatSim, stream, "queue.wait",
+				obs.A("class", rec.class.String()))
+		} else {
+			r.Span(int64(rec.arrival), int64(rec.admit), obs.CatSim, stream, "queue.wait")
+		}
 		r.Emit(int64(rec.admit), obs.CatSim, stream, "place",
 			obs.Int("gang", int64(len(rec.gang))), obs.Int("want", int64(rec.want)),
 			obs.Bool("backfill", backfill))
@@ -528,8 +675,17 @@ func (s *Scheduler) dispatch(rec *jobRec) {
 }
 
 // finish releases a completed job's gang. Completion callbacks re-run
-// admission afterwards; the synchronous launch-error path must not.
+// admission afterwards; the synchronous launch-error path must not. A
+// launch that drained early because we asked it to quiesce is not done —
+// its partial output is discarded and the job requeues for a restart
+// (or tears down, for PreemptCancel). A quiesce that lost the race with
+// natural completion (tr.Preempted false) is a normal finish.
 func (s *Scheduler) finish(rec *jobRec, tr *core.Trace) {
+	if rec.quiescing && tr != nil && tr.Preempted && rec.err == nil {
+		s.requeue(rec)
+		return
+	}
+	rec.quiescing, rec.qCancel, rec.growPending = false, false, false
 	rec.finish = s.eng.Now()
 	rec.trace = tr
 	rec.running = false
@@ -537,6 +693,11 @@ func (s *Scheduler) finish(rec *jobRec, tr *core.Trace) {
 	if s.OnDone != nil {
 		s.OnDone(rec.id, tr, rec.err)
 	}
+	s.releaseRanks(rec)
+}
+
+// releaseRanks frees rec's whole lease.
+func (s *Scheduler) releaseRanks(rec *jobRec) {
 	for _, r := range rec.leased {
 		s.free[r] = true
 		// Straggler derating injected by the tenant's fault plan is

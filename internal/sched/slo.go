@@ -1,0 +1,356 @@
+package sched
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/des"
+	"repro/internal/obs"
+)
+
+// This file is the SLO side of the scheduler: cost-model admission
+// (predict-and-reject at arrival), the EASY backfill reservation for a
+// blocked queue head, checkpoint-preemption of running gangs for higher
+// classes, and elastic grow-back of molded gangs. Everything here is
+// opt-in — with zero-valued Policy and JobSpec SLO fields none of these
+// paths run, and the scheduler behaves byte-for-byte as before.
+
+// estimate asks the cost model for rec's service time on a gang of the
+// given size. ok is false when the job cannot predict itself (it does
+// not implement core.CostEstimator).
+func (s *Scheduler) estimate(rec *jobRec, gang int) (des.Time, bool) {
+	ce, ok := rec.spec.Job.(core.CostEstimator)
+	if !ok {
+		return 0, false
+	}
+	return ce.EstimateCost(s.cl, gang), true
+}
+
+// nominalSize is the gang a job is priced at for admission prediction:
+// the size it would receive on an otherwise idle cluster.
+func (s *Scheduler) nominalSize(rec *jobRec) int {
+	if s.pol.Kind == FixedShare && rec.want > s.pol.Share {
+		return s.pol.Share
+	}
+	return rec.want
+}
+
+// needFor is the idle-rank count rec needs before it can start: the
+// whole machine under FIFOExclusive, the capped request under
+// FixedShare, and the moldable floor under WeightedFair.
+func (s *Scheduler) needFor(rec *jobRec) int {
+	switch s.pol.Kind {
+	case FIFOExclusive:
+		return s.cl.Ranks()
+	case FixedShare:
+		if rec.want > s.pol.Share {
+			return s.pol.Share
+		}
+		return rec.want
+	case WeightedFair:
+		floor := rec.minGang
+		if rec.floorGang > floor {
+			floor = rec.floorGang
+		}
+		if floor > rec.want {
+			floor = rec.want
+		}
+		if floor < 1 {
+			floor = 1
+		}
+		return floor
+	}
+	return rec.want
+}
+
+// reserveStart predicts when `need` ranks will be idle, by walking the
+// running jobs' predicted completions (admit + cached estimate, clamped
+// to now when a job overruns its estimate) in end order and accumulating
+// their leases onto the current idle set. ok is false when any running
+// job is unpredictable — no reservation can then be made, and callers
+// fall back to plain (pre-Reserve) behaviour.
+func (s *Scheduler) reserveStart(need int) (des.Time, bool) {
+	now := s.eng.Now()
+	avail := s.nFree
+	if avail >= need {
+		return now, true
+	}
+	type release struct {
+		at    des.Time
+		ranks int
+	}
+	var ends []release
+	for _, r := range s.recs {
+		if !r.running {
+			continue
+		}
+		if !r.estOK {
+			return 0, false
+		}
+		at := r.admit + r.est
+		if at < now {
+			// Overdue estimate: the job could finish at any moment, so the
+			// reservation is "now" — conservative for backfill, which then
+			// cannot slip anything ahead of the head.
+			at = now
+		}
+		ends = append(ends, release{at, len(r.leased)})
+	}
+	sort.Slice(ends, func(i, j int) bool { return ends[i].at < ends[j].at })
+	for _, e := range ends {
+		avail += e.ranks
+		if avail >= need {
+			return e.at, true
+		}
+	}
+	return 0, false
+}
+
+// predictLatency is the admission-time SLO check: predicted start (the
+// reservation walk over running gangs, plus the machine share of every
+// queued job that will be served first) plus the cost-model service time
+// at nominal gang size. Queued jobs at or above rec's class precede it
+// in the class-ordered queue; charging each est·need/ranks is exact
+// serialization under FIFOExclusive and a work-conserving approximation
+// under the sharing policies. It still ignores future arrivals — it is
+// an advisory admission filter, not a simulation; the serve layer
+// reports actual attainment.
+func (s *Scheduler) predictLatency(rec *jobRec) (des.Time, bool) {
+	est, ok := s.estimate(rec, s.nominalSize(rec))
+	if !ok {
+		return 0, false
+	}
+	var wait des.Time
+	blocked := len(s.queue) > 0 || s.nFree < s.needFor(rec) ||
+		(s.pol.Kind == FIFOExclusive && s.nRun > 0)
+	if blocked {
+		at, ok := s.reserveStart(s.needFor(rec))
+		if !ok {
+			return 0, false
+		}
+		wait = at - s.eng.Now()
+		ranks := des.Time(s.cl.Ranks())
+		for _, q := range s.queue {
+			if q.class < rec.class {
+				continue
+			}
+			qe, ok := s.estimate(q, s.nominalSize(q))
+			if !ok {
+				return 0, false
+			}
+			wait += qe * des.Time(s.needFor(q)) / ranks
+		}
+	}
+	return wait + est, true
+}
+
+// preemptFor checkpoints enough running lower-class gangs to fit the
+// blocked head, returning true when victims are (or already were)
+// draining — the caller must then hold all admission until their requeue
+// re-runs it. Victims are chosen lowest class first, then the most
+// recently started (least work lost), then highest ID; only jobs whose
+// launch supports quiescing (core.Preemptible) qualify. Returns false
+// when the head's class outranks nothing useful, or when even preempting
+// every candidate would not free enough ranks.
+func (s *Scheduler) preemptFor(head *jobRec) bool {
+	need := s.needFor(head)
+	avail := s.nFree
+	draining := false
+	for _, r := range s.recs {
+		if r.running && r.quiescing {
+			avail += len(r.leased)
+			draining = true
+		}
+	}
+	if avail >= need {
+		return draining
+	}
+	var cands []*jobRec
+	for _, r := range s.recs {
+		if !r.running || r.quiescing || r.class >= head.class {
+			continue
+		}
+		if _, ok := r.spec.Job.(core.Preemptible); !ok {
+			continue
+		}
+		cands = append(cands, r)
+	}
+	sort.SliceStable(cands, func(i, j int) bool {
+		a, b := cands[i], cands[j]
+		if a.class != b.class {
+			return a.class < b.class
+		}
+		if a.admit != b.admit {
+			return a.admit > b.admit
+		}
+		return a.id > b.id
+	})
+	var victims []*jobRec
+	for _, v := range cands {
+		if avail >= need {
+			break
+		}
+		victims = append(victims, v)
+		avail += len(v.leased)
+	}
+	if avail < need {
+		return false
+	}
+	for _, v := range victims {
+		s.quiesce(v, false)
+	}
+	return true
+}
+
+// growBack finds one running WeightedFair gang worth re-expanding: the
+// job opted in (JobSpec.Elastic), was molded below its request, and the
+// now-idle ranks plus its own would at least double it (capped at its
+// fair share). It is checkpointed like a preemption victim; floorGang
+// forces the relaunch strictly wider. One grow per admission pass keeps
+// the churn bounded. Only called with an empty queue — growing must
+// never starve waiting jobs.
+func (s *Scheduler) growBack() {
+	if s.pol.Kind != WeightedFair {
+		return
+	}
+	for _, r := range s.recs {
+		if !r.running || r.quiescing || !r.elastic {
+			continue
+		}
+		if _, ok := r.spec.Job.(core.Preemptible); !ok {
+			continue
+		}
+		cur := len(r.gang)
+		if cur >= r.want {
+			continue
+		}
+		target := s.fairShare(r)
+		if avail := s.nFree + len(r.leased); target > avail {
+			target = avail
+		}
+		if target < 2*cur {
+			continue
+		}
+		r.growPending = true
+		s.quiesce(r, false)
+		return
+	}
+}
+
+// quiesce asks rec's running launch to checkpoint-preempt: stop issuing
+// chunks and drain at the next chunk boundary. The launch then completes
+// with a Preempted trace and finish routes it to requeue. In sharded
+// mode the stop must execute on the gang's home engine — the launch's
+// core scheduler is engine-confined — so it travels the same hub->home
+// post edge as the launch itself.
+func (s *Scheduler) quiesce(rec *jobRec, cancel bool) bool {
+	p, ok := rec.spec.Job.(core.Preemptible)
+	if !ok || !rec.running || rec.quiescing {
+		return false
+	}
+	rec.quiescing = true
+	rec.qCancel = cancel
+	if r := s.cl.Obs; r.Enabled() {
+		why := "class"
+		switch {
+		case cancel:
+			why = "cancel"
+		case rec.growPending:
+			why = "grow"
+		}
+		r.Emit(int64(s.eng.Now()), obs.CatSim, "sched/"+rec.spec.Job.RunName(), "preempt", obs.A("why", why))
+	}
+	if s.ss != nil {
+		home := s.homeOf(rec.gang)
+		s.ss.Post(s.eng, home, hubKey, s.launchLat, rec.spec.Job.RunName()+".preempt", func(q *des.Proc) {
+			p.PreemptLaunch()
+		})
+	} else {
+		p.PreemptLaunch()
+	}
+	return true
+}
+
+// requeue handles a launch that drained early because quiesce asked it
+// to: the partial output is discarded, the lease is released, and the
+// job either re-enters the queue for a deterministic restart from
+// scratch (preemption and grow-back — the original arrival time is
+// kept, so waiting-time stats charge the preemption honestly) or is
+// torn down (PreemptCancel).
+func (s *Scheduler) requeue(rec *jobRec) {
+	cancel, grow, oldSize := rec.qCancel, rec.growPending, len(rec.gang)
+	rec.quiescing, rec.qCancel, rec.growPending = false, false, false
+	rec.running = false
+	s.nRun--
+	s.releaseRanks(rec)
+	rec.gang, rec.leased = nil, nil
+	rec.est, rec.estOK = 0, false
+	if r := s.cl.Obs; r.Enabled() {
+		kind := "requeue"
+		if cancel {
+			kind = "preempt.cancel"
+		}
+		r.Emit(int64(s.eng.Now()), obs.CatSim, "sched/"+rec.spec.Job.RunName(), kind)
+	}
+	if cancel {
+		rec.cancelled = true
+		rec.finish = s.eng.Now()
+		if s.OnRequeue != nil {
+			s.OnRequeue(rec.id, true)
+		}
+		return
+	}
+	if grow {
+		rec.floorGang = oldSize + 1
+	}
+	rec.preempts++
+	rec.waiting = true
+	if s.OnRequeue != nil {
+		s.OnRequeue(rec.id, false)
+	}
+	s.enqueue(rec)
+}
+
+// PreemptCancel withdraws a RUNNING job by checkpoint-preempting it and
+// discarding the drained launch — the counterpart of Cancel (which only
+// reaches queued jobs). The gang frees at the job's next chunk boundary,
+// not instantly; OnRequeue(id, true) fires when it does, and no OnDone
+// follows. Reports false when the job is not running, is already
+// quiescing, or its launch cannot quiesce. Must be called at engine
+// time.
+func (s *Scheduler) PreemptCancel(id int) bool {
+	if id < 0 || id >= len(s.recs) {
+		return false
+	}
+	rec := s.recs[id]
+	if !rec.running || rec.quiescing {
+		return false
+	}
+	return s.quiesce(rec, true)
+}
+
+// Rejected reports whether the SLO admission check turned the job away
+// at arrival.
+func (s *Scheduler) Rejected(id int) bool {
+	return id >= 0 && id < len(s.recs) && s.recs[id].rejected
+}
+
+// Downgraded reports whether the SLO admission check demoted the job to
+// Batch (JobSpec.DowngradeOnMiss) instead of rejecting it.
+func (s *Scheduler) Downgraded(id int) bool {
+	return id >= 0 && id < len(s.recs) && s.recs[id].downgraded
+}
+
+// QueuedCost sums the cost-model estimates of every queued job at its
+// nominal gang size — the serve layer's Retry-After drain hint. Jobs
+// that cannot predict themselves contribute nothing. Must be called at
+// engine time.
+func (s *Scheduler) QueuedCost() des.Time {
+	var t des.Time
+	for _, rec := range s.queue {
+		if est, ok := s.estimate(rec, s.nominalSize(rec)); ok {
+			t += est
+		}
+	}
+	return t
+}

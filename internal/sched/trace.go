@@ -18,6 +18,17 @@ type JobTrace struct {
 	Weight  int
 	Gang    []int // global cluster ranks, ascending
 
+	// SLO fields (zero when the submission used none). Deadline is
+	// relative to arrival; Downgraded marks a predicted-miss demoted to
+	// Batch; Preempts counts checkpoint-restarts (class preemption and
+	// elastic grow-back), after which Admit is the FINAL launch's start —
+	// Wait then includes the time lost to restarts, Service only the run
+	// that completed.
+	Class      Class
+	Deadline   des.Time
+	Downgraded bool
+	Preempts   int
+
 	Arrival des.Time
 	Admit   des.Time
 	Finish  des.Time
@@ -26,6 +37,10 @@ type JobTrace struct {
 	// job's share of fabric traffic).
 	Trace *core.Trace
 }
+
+// Met reports whether the job finished inside its deadline (vacuously
+// false without one — use Deadline > 0 to scope attainment stats).
+func (j *JobTrace) Met() bool { return j.Deadline > 0 && j.Latency() <= j.Deadline }
 
 // Wait is the job's queue time before admission.
 func (j *JobTrace) Wait() des.Time { return j.Admit - j.Arrival }
@@ -52,6 +67,60 @@ type ClusterTrace struct {
 	Ranks    int
 	Makespan des.Time
 	Jobs     []JobTrace // submission order
+
+	// Rejected lists jobs the SLO admission check turned away at arrival
+	// (submission order; only identity fields are meaningful — they never
+	// ran).
+	Rejected []JobTrace
+}
+
+// sloActive reports whether any submission used SLO features; it gates
+// the String additions so pre-SLO goldens stay byte-identical.
+func (t *ClusterTrace) sloActive() bool {
+	if len(t.Rejected) > 0 {
+		return true
+	}
+	for i := range t.Jobs {
+		j := &t.Jobs[i]
+		if j.Class != Batch || j.Deadline > 0 || j.Downgraded || j.Preempts > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// SLOStats summarises deadline attainment for one job class.
+type SLOStats struct {
+	Jobs     int // completed jobs carrying a deadline
+	Met      int
+	Rejected int // turned away at admission
+}
+
+// SLOByClass folds attainment per class over completed and rejected
+// jobs. Classes with no deadline-carrying traffic are absent.
+func (t *ClusterTrace) SLOByClass() map[Class]*SLOStats {
+	out := map[Class]*SLOStats{}
+	get := func(c Class) *SLOStats {
+		if out[c] == nil {
+			out[c] = &SLOStats{}
+		}
+		return out[c]
+	}
+	for i := range t.Jobs {
+		j := &t.Jobs[i]
+		if j.Deadline <= 0 {
+			continue
+		}
+		st := get(j.Class)
+		st.Jobs++
+		if j.Met() {
+			st.Met++
+		}
+	}
+	for i := range t.Rejected {
+		get(t.Rejected[i].Class).Rejected++
+	}
+	return out
 }
 
 // Throughput is completed jobs per simulated second.
@@ -138,15 +207,49 @@ func (t *ClusterTrace) String() string {
 	fmt.Fprintf(&sb, "  throughput %.2f jobs/s  p50 %v  p95 %v  wait %v  jain %.3f  wire %.1f MB\n",
 		t.Throughput(), t.LatencyPercentile(50, nil), t.LatencyPercentile(95, nil),
 		t.MeanWait(), t.Jain(), float64(t.WireBytes())/1e6)
+	slo := t.sloActive()
 	for i := range t.Jobs {
 		j := &t.Jobs[i]
 		gang := make([]string, len(j.Gang))
 		for k, r := range j.Gang {
 			gang[k] = fmt.Sprint(r)
 		}
-		fmt.Fprintf(&sb, "  job %2d %-10s want %2d got %2d  arr %v  wait %v  run %v  lat %v  slow %.2f  ranks [%s]\n",
+		fmt.Fprintf(&sb, "  job %2d %-10s want %2d got %2d  arr %v  wait %v  run %v  lat %v  slow %.2f  ranks [%s]",
 			j.ID, j.Name, j.Want, j.Granted, j.Arrival, j.Wait(), j.Service(), j.Latency(),
 			j.Slowdown(), strings.Join(gang, " "))
+		if slo {
+			fmt.Fprintf(&sb, "  %s", j.Class)
+			if j.Deadline > 0 {
+				verdict := "met"
+				if !j.Met() {
+					verdict = "MISS"
+				}
+				fmt.Fprintf(&sb, " ddl %v %s", j.Deadline, verdict)
+			}
+			if j.Downgraded {
+				sb.WriteString(" downgraded")
+			}
+			if j.Preempts > 0 {
+				fmt.Fprintf(&sb, " preempts %d", j.Preempts)
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	if slo {
+		classes := []Class{Interactive, Standard, Batch}
+		stats := t.SLOByClass()
+		for _, c := range classes {
+			st := stats[c]
+			if st == nil {
+				continue
+			}
+			fmt.Fprintf(&sb, "  slo %-11s %d/%d met  %d rejected\n", c, st.Met, st.Jobs, st.Rejected)
+		}
+		for i := range t.Rejected {
+			j := &t.Rejected[i]
+			fmt.Fprintf(&sb, "  rej %2d %-10s want %2d  arr %v  %s ddl %v\n",
+				j.ID, j.Name, j.Want, j.Arrival, j.Class, j.Deadline)
+		}
 	}
 	return sb.String()
 }

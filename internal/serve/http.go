@@ -120,9 +120,16 @@ func (h *handler) submit(w http.ResponseWriter, r *http.Request) {
 	case info.State != Rejected:
 		h.writeJSON(w, http.StatusAccepted, info)
 	case strings.HasPrefix(info.Reason, "shed:") || strings.HasPrefix(info.Reason, "quota:"):
-		// Backpressure: the client should retry later, with the full
-		// record so it can see queue state in the reason.
-		w.Header().Set("Retry-After", "1")
+		// Backpressure: the client should retry once the backlog has
+		// plausibly drained — the admission path predicts that from the
+		// queued jobs' cost-model estimates (JobInfo.RetryAfter, wall
+		// seconds), so a deep backlog pushes retries further out than a
+		// shallow one.
+		retry := info.RetryAfter
+		if retry < 1 {
+			retry = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(retry))
 		h.writeJSON(w, http.StatusTooManyRequests, info)
 	default:
 		h.writeJSON(w, http.StatusBadRequest, info)
@@ -167,7 +174,16 @@ func (h *handler) cancel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if !ok {
-		h.httpError(w, http.StatusConflict, "job is not queued (already running or finished)")
+		// Both failures are 409s, but they are different conflicts: a
+		// running job could be cancellable under a preempting policy,
+		// while a finished one never is again.
+		info, _ := h.sv.Job(id)
+		switch info.State {
+		case Running:
+			h.httpError(w, http.StatusConflict, "job is running (policy does not preempt)")
+		default:
+			h.httpError(w, http.StatusConflict, fmt.Sprintf("job already finished (state %s)", info.State))
+		}
 		return
 	}
 	h.writeJSON(w, http.StatusOK, map[string]bool{"cancelled": true})

@@ -54,6 +54,7 @@ func (ses *session) writeMetrics(w io.Writer) {
 	fmt.Fprintf(w, "gpmr_serve_rejected_total{reason=\"shed\"} %d\n", s.RejectedShed)
 	fmt.Fprintf(w, "gpmr_serve_rejected_total{reason=\"quota\"} %d\n", s.RejectedQuota)
 	fmt.Fprintf(w, "gpmr_serve_rejected_total{reason=\"invalid\"} %d\n", s.RejectedInvalid)
+	fmt.Fprintf(w, "gpmr_serve_rejected_total{reason=\"slo\"} %d\n", s.RejectedSLO)
 
 	gauge("gpmr_serve_queue_depth", "Jobs admitted and waiting for a gang.", s.Queued)
 	gauge("gpmr_serve_running", "Jobs currently holding gangs.", s.Running)
@@ -86,5 +87,31 @@ func (ses *session) writeMetrics(w io.Writer) {
 	fmt.Fprintf(w, "# TYPE gpmr_serve_tenant_done_total counter\n")
 	for _, t := range tenants {
 		fmt.Fprintf(w, "gpmr_serve_tenant_done_total{tenant=%q} %d\n", t, s.Tenants[t].Done)
+	}
+
+	// Per-class SLO families appear only once a submission has used SLO
+	// features, so pre-SLO scrapes are unchanged.
+	if len(s.Classes) > 0 {
+		classes := make([]string, 0, len(s.Classes))
+		for c := range s.Classes {
+			classes = append(classes, c)
+		}
+		sort.Strings(classes)
+		classCounter := func(name, help string, val func(*ClassStats) int64) {
+			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+			for _, c := range classes {
+				fmt.Fprintf(w, "%s{class=%q} %d\n", name, c, val(s.Classes[c]))
+			}
+		}
+		classCounter("gpmr_serve_class_submitted_total", "Per-class submissions using SLO features.",
+			func(cs *ClassStats) int64 { return cs.Submitted })
+		classCounter("gpmr_serve_class_done_total", "Per-class completed jobs.",
+			func(cs *ClassStats) int64 { return cs.Done })
+		classCounter("gpmr_serve_class_deadline_met_total", "Per-class completions inside their deadline.",
+			func(cs *ClassStats) int64 { return cs.Met })
+		classCounter("gpmr_serve_class_deadline_missed_total", "Per-class completions past their deadline.",
+			func(cs *ClassStats) int64 { return cs.Missed })
+		classCounter("gpmr_serve_class_rejected_total", "Per-class SLO admission rejects.",
+			func(cs *ClassStats) int64 { return cs.Rejected })
 	}
 }

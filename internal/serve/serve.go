@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strings"
 	"sync"
@@ -81,6 +82,15 @@ type Request struct {
 	// sched.JobSpec).
 	Weight  int
 	MinGang int
+	// Class names the service class ("batch", "standard", "interactive";
+	// empty means batch) and Deadline the relative completion SLO — both
+	// pass through to sched.JobSpec, where admission may reject a
+	// predicted miss, or demote the job to batch instead when Downgrade
+	// is set. Elastic opts a molded gang into grow-back.
+	Class     string
+	Deadline  des.Time
+	Downgrade bool
+	Elastic   bool
 	// Tag is an optional submitter-chosen correlation handle, recorded in
 	// the arrival trace and echoed in the job record. The fleet router
 	// keys its cross-shard job table on it: after a shard loss or router
@@ -110,6 +120,15 @@ type JobInfo struct {
 	Want    int `json:"want,omitempty"`
 	Granted int `json:"granted,omitempty"`
 
+	// SLO record: normalized class name (set only when the submission used
+	// SLO features), relative deadline, whether admission demoted the job
+	// to batch, and — on a shed/quota reject — the predicted queue-drain
+	// retry hint in wall seconds (the HTTP 429 Retry-After value).
+	Class      string   `json:"class,omitempty"`
+	Deadline   des.Time `json:"deadline,omitempty"`
+	Downgraded bool     `json:"downgraded,omitempty"`
+	RetryAfter int      `json:"retryAfter,omitempty"`
+
 	// Digest is the canonical output digest (core.OutputDigester), valid
 	// when HasDigest is set — the replay-verification handle.
 	Digest    uint64 `json:"digest,omitempty"`
@@ -126,6 +145,17 @@ type TenantStats struct {
 	Done      int64
 }
 
+// ClassStats aggregates one service class's SLO history. Met/Missed
+// count only deadline-carrying completions; Rejected counts SLO
+// admission rejects (predicted misses without downgrade).
+type ClassStats struct {
+	Submitted int64
+	Done      int64
+	Met       int64
+	Missed    int64
+	Rejected  int64
+}
+
 // Stats aggregates the service's admission and completion counters, plus
 // the current queue/running gauges.
 type Stats struct {
@@ -137,6 +167,7 @@ type Stats struct {
 	RejectedShed    int64
 	RejectedQuota   int64
 	RejectedInvalid int64
+	RejectedSLO     int64 // predicted deadline misses turned away at admission
 
 	Queued  int64 // gauge: currently waiting for a gang
 	Running int64 // gauge: currently holding gangs
@@ -152,10 +183,16 @@ type Stats struct {
 	ServiceHist *Histogram
 
 	Tenants map[string]*TenantStats
+
+	// Classes breaks attainment down by service class; nil until the first
+	// submission that uses SLO features, so pre-SLO runs are unchanged.
+	Classes map[string]*ClassStats
 }
 
 // rejected sums the reject counters.
-func (s *Stats) rejected() int64 { return s.RejectedShed + s.RejectedQuota + s.RejectedInvalid }
+func (s *Stats) rejected() int64 {
+	return s.RejectedShed + s.RejectedQuota + s.RejectedInvalid + s.RejectedSLO
+}
 
 // clone deep-copies the stats for a snapshot.
 func (s *Stats) clone() Stats {
@@ -166,6 +203,13 @@ func (s *Stats) clone() Stats {
 	for k, v := range s.Tenants {
 		c := *v
 		out.Tenants[k] = &c
+	}
+	if s.Classes != nil {
+		out.Classes = make(map[string]*ClassStats, len(s.Classes))
+		for k, v := range s.Classes {
+			c := *v
+			out.Classes[k] = &c
+		}
 	}
 	return out
 }
@@ -225,6 +269,9 @@ func (c Config) header() Header {
 		Quota:       c.Quota,
 		Quotas:      c.Quotas,
 		PhysBudget:  c.Catalog.PhysBudget(),
+		Reserve:     c.Policy.Reserve,
+		Preempt:     c.Policy.Preempt,
+		Elastic:     c.Policy.Elastic,
 	}
 }
 
@@ -318,6 +365,7 @@ func newSession(cfg Config) (*session, error) {
 	}
 	sch.OnStart = ses.onStart
 	sch.OnDone = ses.onDone
+	sch.OnRequeue = ses.onRequeue
 	return ses, nil
 }
 
@@ -348,6 +396,40 @@ func (ses *session) tenantStats(tenant string) *TenantStats {
 	return ts
 }
 
+// classStats returns (creating) one service class's counters. Callers
+// hold mu. The Classes map itself is created lazily so pre-SLO runs
+// never carry it.
+func (ses *session) classStats(class string) *ClassStats {
+	if ses.stats.Classes == nil {
+		ses.stats.Classes = make(map[string]*ClassStats)
+	}
+	cs := ses.stats.Classes[class]
+	if cs == nil {
+		cs = &ClassStats{}
+		ses.stats.Classes[class] = cs
+	}
+	return cs
+}
+
+// retryAfter predicts, in wall seconds, how long a shed submitter
+// should back off: the cost-model drain time of the current queue,
+// mapped through TimeScale and clamped to [1s, 1h]. Engine-confined
+// (reads scheduler state).
+func (ses *session) retryAfter() int {
+	scale := ses.cfg.TimeScale
+	if scale <= 0 {
+		scale = 1
+	}
+	secs := int(math.Ceil(ses.sch.QueuedCost().Seconds() / scale))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 3600 {
+		secs = 3600
+	}
+	return secs
+}
+
 // arrive runs one submission through admission at the current simulated
 // time. Engine-confined; returns a copy of the job's record.
 func (ses *session) arrive(now des.Time, req Request) JobInfo {
@@ -358,7 +440,9 @@ func (ses *session) arrive(now des.Time, req Request) JobInfo {
 	// recomputed on replay, not recorded.
 	if ses.rec != nil {
 		ses.rec.Arrive(Arrival{Seq: id, At: now, Tenant: req.Tenant, Kind: req.Kind,
-			Params: req.Params, Weight: req.Weight, MinGang: req.MinGang, Tag: req.Tag})
+			Params: req.Params, Weight: req.Weight, MinGang: req.MinGang, Tag: req.Tag,
+			Class: req.Class, Deadline: req.Deadline, Downgrade: req.Downgrade,
+			Elastic: req.Elastic})
 	}
 
 	info := &JobInfo{
@@ -390,16 +474,34 @@ func (ses *session) arrive(now des.Time, req Request) JobInfo {
 		return *info
 	}
 
+	cls, clsErr := sched.ParseClass(req.Class)
+	if clsErr != nil {
+		return reject(clsErr.Error(), "invalid", &ses.stats.RejectedInvalid)
+	}
+	// sloReq marks a submission that opted into any SLO feature; only
+	// those carry a class record and feed the per-class stats, so plain
+	// traffic reports exactly as before.
+	sloReq := req.Class != "" || req.Deadline > 0 || req.Downgrade || req.Elastic
+	var cs *ClassStats
+	if sloReq {
+		info.Class = cls.String()
+		info.Deadline = req.Deadline
+		cs = ses.classStats(info.Class)
+		cs.Submitted++
+	}
+
 	run, err := ses.cfg.Catalog.Build(req.Kind, name, req.Params)
 	if err != nil {
 		return reject(err.Error(), "invalid", &ses.stats.RejectedInvalid)
 	}
 	info.Want = run.GangWant()
 	if ses.cfg.MaxQueue >= 0 && ses.sch.QueueLen() >= ses.cfg.MaxQueue {
+		info.RetryAfter = ses.retryAfter()
 		return reject(fmt.Sprintf("shed: admission queue full (%d waiting)", ses.sch.QueueLen()),
 			"shed", &ses.stats.RejectedShed)
 	}
 	if q := ses.cfg.quotaFor(req.Tenant); q > 0 && ses.inflight[req.Tenant] >= q {
+		info.RetryAfter = ses.retryAfter()
 		return reject(fmt.Sprintf("quota: tenant %q has %d jobs in flight (cap %d)",
 			req.Tenant, ses.inflight[req.Tenant], q), "quota", &ses.stats.RejectedQuota)
 	}
@@ -418,7 +520,8 @@ func (ses *session) arrive(now des.Time, req Request) JobInfo {
 	ses.mu.Unlock()
 	// Register first so the sched↔serve ID maps are in place before
 	// Arrive runs admission — OnStart can fire synchronously from it.
-	schedID, err := ses.sch.Register(sched.JobSpec{Job: run, Weight: req.Weight, MinGang: req.MinGang})
+	schedID, err := ses.sch.Register(sched.JobSpec{Job: run, Weight: req.Weight, MinGang: req.MinGang,
+		Class: cls, Deadline: req.Deadline, DowngradeOnMiss: req.Downgrade, Elastic: req.Elastic})
 	if err == nil {
 		ses.schedOf[id] = schedID
 		ses.serveOf[schedID] = id
@@ -437,36 +540,69 @@ func (ses *session) arrive(now des.Time, req Request) JobInfo {
 		ses.runnables[id] = nil
 		return reject(err.Error(), "invalid", &ses.stats.RejectedInvalid)
 	}
+	if ses.sch.Rejected(schedID) {
+		// The SLO admission check predicted a deadline miss and turned the
+		// job away at arrival.
+		info.State = Rejected
+		info.Status = Rejected.String()
+		ses.stats.Admitted--
+		ses.stats.Queued--
+		ts.Admitted--
+		ses.inflight[req.Tenant]--
+		ses.runnables[id] = nil
+		if cs != nil {
+			cs.Rejected++
+		}
+		return reject(fmt.Sprintf("slo: predicted to miss %v deadline", req.Deadline),
+			"slo", &ses.stats.RejectedSLO)
+	}
+	if ses.sch.Downgraded(schedID) {
+		info.Downgraded = true
+	}
 	return *info
 }
 
-// cancel withdraws a queued job at the current simulated time.
+// cancel withdraws a queued job at the current simulated time, or — when
+// the policy preempts — checkpoint-preempts a running one, whose gang
+// then frees at its next chunk boundary (onRequeue settles the record).
 // Engine-confined.
 func (ses *session) cancel(now des.Time, id int) bool {
 	if id < 0 || id >= len(ses.jobs) {
 		return false
 	}
 	info := ses.jobs[id]
-	if info.State != Queued || !ses.sch.Cancel(ses.schedOf[id]) {
-		return false
+	switch {
+	case info.State == Queued && ses.sch.Cancel(ses.schedOf[id]):
+		if ses.rec != nil {
+			ses.rec.Cancel(Cancel{Seq: id, At: now})
+		}
+		if r := ses.cl.Obs; r.Enabled() {
+			r.Emit(int64(now), obs.CatSim, "serve/"+info.Name, "cancel")
+		}
+		ses.runnables[id] = nil
+		ses.mu.Lock()
+		defer ses.mu.Unlock()
+		ses.vnow = now
+		info.State = Cancelled
+		info.Status = Cancelled.String()
+		info.Finish = now
+		ses.stats.Cancelled++
+		ses.stats.Queued--
+		ses.inflight[info.Tenant]--
+		return true
+	case info.State == Running && ses.cfg.Policy.Preempt && ses.sch.PreemptCancel(ses.schedOf[id]):
+		if ses.rec != nil {
+			ses.rec.Cancel(Cancel{Seq: id, At: now})
+		}
+		if r := ses.cl.Obs; r.Enabled() {
+			r.Emit(int64(now), obs.CatSim, "serve/"+info.Name, "cancel", obs.A("mode", "preempt"))
+		}
+		ses.mu.Lock()
+		defer ses.mu.Unlock()
+		ses.vnow = now
+		return true
 	}
-	if ses.rec != nil {
-		ses.rec.Cancel(Cancel{Seq: id, At: now})
-	}
-	if r := ses.cl.Obs; r.Enabled() {
-		r.Emit(int64(now), obs.CatSim, "serve/"+info.Name, "cancel")
-	}
-	ses.runnables[id] = nil
-	ses.mu.Lock()
-	defer ses.mu.Unlock()
-	ses.vnow = now
-	info.State = Cancelled
-	info.Status = Cancelled.String()
-	info.Finish = now
-	ses.stats.Cancelled++
-	ses.stats.Queued--
-	ses.inflight[info.Tenant]--
-	return true
+	return false
 }
 
 // onStart is the scheduler's placement hook.
@@ -482,6 +618,36 @@ func (ses *session) onStart(schedID int, gang []int) {
 	info.Granted = len(gang)
 	ses.stats.Queued--
 	ses.stats.Running++
+}
+
+// onRequeue is the scheduler's checkpoint-preemption hook: the job's
+// launch drained at a chunk boundary and either re-entered the queue
+// (class preemption, elastic grow-back) or was torn down (preempt-
+// cancel). Either way the gang is free and the record must reflect it.
+func (ses *session) onRequeue(schedID int, cancelled bool) {
+	id := ses.serveOf[schedID]
+	info := ses.jobs[id]
+	now := ses.eng.Now()
+	if cancelled {
+		ses.runnables[id] = nil
+	}
+	ses.mu.Lock()
+	defer ses.mu.Unlock()
+	ses.vnow = now
+	ses.stats.Running--
+	if cancelled {
+		info.State = Cancelled
+		info.Status = Cancelled.String()
+		info.Finish = now
+		ses.stats.Cancelled++
+		ses.inflight[info.Tenant]--
+		return
+	}
+	info.State = Queued
+	info.Status = Queued.String()
+	info.Admit = 0
+	info.Granted = 0
+	ses.stats.Queued++
 }
 
 // onDone is the scheduler's completion hook: extract the output digest,
@@ -550,6 +716,17 @@ func (ses *session) onDone(schedID int, tr *core.Trace, err error) {
 	info.Status = Done.String()
 	ses.stats.Done++
 	ses.tenantStats(info.Tenant).Done++
+	if info.Class != "" {
+		cs := ses.classStats(info.Class)
+		cs.Done++
+		if info.Deadline > 0 {
+			if now-info.Arrival <= info.Deadline {
+				cs.Met++
+			} else {
+				cs.Missed++
+			}
+		}
+	}
 	if tr != nil {
 		info.WireBytes = tr.WireBytes
 		ses.stats.WireBytes += tr.WireBytes
@@ -582,9 +759,15 @@ func (r *Report) String() string {
 	var sb strings.Builder
 	sb.WriteString(r.Cluster.String())
 	s := &r.Stats
-	fmt.Fprintf(&sb, "serve: %d submitted  %d done  %d failed  %d cancelled  %d rejected (shed %d quota %d invalid %d)\n",
+	// The slo reject count appears only when non-zero, so pre-SLO reports
+	// stay byte-identical.
+	slo := ""
+	if s.RejectedSLO > 0 {
+		slo = fmt.Sprintf(" slo %d", s.RejectedSLO)
+	}
+	fmt.Fprintf(&sb, "serve: %d submitted  %d done  %d failed  %d cancelled  %d rejected (shed %d quota %d invalid %d%s)\n",
 		s.Submitted, s.Done, s.Failed, s.Cancelled, s.rejected(),
-		s.RejectedShed, s.RejectedQuota, s.RejectedInvalid)
+		s.RejectedShed, s.RejectedQuota, s.RejectedInvalid, slo)
 	fmt.Fprintf(&sb, "serve: wait total %v  service total %v  wire %.1f MB\n",
 		s.WaitTotal, s.ServiceTotal, float64(s.WireBytes)/1e6)
 	tenants := make([]string, 0, len(s.Tenants))
@@ -596,6 +779,14 @@ func (r *Report) String() string {
 		ts := s.Tenants[t]
 		fmt.Fprintf(&sb, "  tenant %-10s submitted %3d  admitted %3d  rejected %3d  done %3d\n",
 			t, ts.Submitted, ts.Admitted, ts.Rejected, ts.Done)
+	}
+	for _, c := range []string{"interactive", "standard", "batch"} {
+		cs := s.Classes[c]
+		if cs == nil {
+			continue
+		}
+		fmt.Fprintf(&sb, "  class %-11s submitted %3d  done %3d  met %3d  missed %3d  rejected %3d\n",
+			c, cs.Submitted, cs.Done, cs.Met, cs.Missed, cs.Rejected)
 	}
 	for i := range r.Jobs {
 		j := &r.Jobs[i]
@@ -923,7 +1114,9 @@ func replaySession(tr *Trace, opt ReplayOptions) (*session, des.Time, error) {
 			}
 			if a := ev.Arrive; a != nil {
 				info := ses.arrive(p.Now(), Request{Tenant: a.Tenant, Kind: a.Kind,
-					Params: a.Params, Weight: a.Weight, MinGang: a.MinGang, Tag: a.Tag})
+					Params: a.Params, Weight: a.Weight, MinGang: a.MinGang, Tag: a.Tag,
+					Class: a.Class, Deadline: a.Deadline, Downgrade: a.Downgrade,
+					Elastic: a.Elastic})
 				if info.ID != a.Seq {
 					panic(fmt.Sprintf("serve: replay assigned ID %d to recorded seq %d", info.ID, a.Seq))
 				}

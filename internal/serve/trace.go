@@ -38,6 +38,12 @@ type Header struct {
 	Quotas      map[string]int `json:"quotas,omitempty"`
 	PhysBudget  int            `json:"physBudget"`
 
+	// SLO scheduling switches (sched.Policy); omitted when off so pre-SLO
+	// traces are byte-unchanged.
+	Reserve bool `json:"reserve,omitempty"`
+	Preempt bool `json:"preempt,omitempty"`
+	Elastic bool `json:"elastic,omitempty"`
+
 	// Shard and Epoch are the fleet header: when this daemon serves as one
 	// shard of a gpmrfleet, the router's registration handshake stamps the
 	// shard's identity and the ring epoch it joined at, so a directory of
@@ -57,6 +63,13 @@ type Arrival struct {
 	Params  Params   `json:"params,omitempty"`
 	Weight  int      `json:"weight,omitempty"`
 	MinGang int      `json:"minGang,omitempty"`
+	// SLO fields: service class, relative deadline (ns), downgrade-on-miss
+	// and elastic opt-ins. All omitted for plain submissions, keeping
+	// pre-SLO traces byte-identical.
+	Class     string   `json:"class,omitempty"`
+	Deadline  des.Time `json:"deadline,omitempty"`
+	Downgrade bool     `json:"downgrade,omitempty"`
+	Elastic   bool     `json:"elastic,omitempty"`
 	// Tag is the submitter's correlation handle (the fleet router keys its
 	// job table on it); it passes through admission untouched.
 	Tag string `json:"tag,omitempty"`
@@ -95,7 +108,8 @@ func (h Header) policy() (sched.Policy, error) {
 	if err != nil {
 		return sched.Policy{}, fmt.Errorf("serve: trace has unknown policy %q", h.Policy)
 	}
-	return sched.Policy{Kind: k, Share: h.Share, NoBackfill: h.NoBackfill}, nil
+	return sched.Policy{Kind: k, Share: h.Share, NoBackfill: h.NoBackfill,
+		Reserve: h.Reserve, Preempt: h.Preempt, Elastic: h.Elastic}, nil
 }
 
 // TraceWriter streams a live run's boundary events. Event ordering is the
