@@ -66,12 +66,13 @@ func main() {
 	workers := flag.Int("workers", 0, "kernel-execution workers: 0 = serial, N = pool(N), -1 = pool(all cores)")
 	shards := flag.Int("shards", 0, "DES engine shards: 0 = legacy single engine, N = N shards, -1 = one per node")
 	tracePath := flag.String("trace", "", "write the runs' flight recording as Chrome trace-event JSON (load in Perfetto)")
+	explain := flag.String("explain", "", "print phase breakdowns after the runs: a job name, or \"all\" (implies recording)")
 	cpuProf := flag.String("cpuprofile", "", "write a host CPU profile to this file")
 	memProf := flag.String("memprofile", "", "write a host heap profile to this file")
 	flag.Parse()
 
 	o := bench.Options{PhysBudget: *phys, Seed: *seed, Workers: *workers, Shards: *shards}
-	if *tracePath != "" {
+	if *tracePath != "" || *explain != "" {
 		o.Obs = obs.New()
 	}
 	out := os.Stdout
@@ -283,6 +284,15 @@ func main() {
 			os.Exit(1)
 		}
 		f.Close()
+	}
+	if *explain != "" {
+		evs := o.Obs.Canonical()
+		for _, k := range obs.Jobs(evs) {
+			if *explain != "all" && k.String() != *explain && k.Name != *explain {
+				continue
+			}
+			fmt.Fprint(out, obs.Explain(evs, k).String())
+		}
 	}
 	if *tracePath != "" {
 		f, err := os.Create(*tracePath)

@@ -11,8 +11,12 @@
 //	GET    /jobs                 list all job records
 //	GET    /jobs/{id}            one job record
 //	GET    /jobs/{id}/timeline   the job's flight-recorder timeline (Chrome trace JSON)
+//	GET    /jobs/{id}/explain    the job's phase breakdown + bottleneck attribution
+//	                             (?format=text for prose, JSON otherwise)
 //	GET    /jobs/{id}/output     a completed job's canonical output text
 //	DELETE /jobs/{id}            cancel a queued job
+//	GET    /flight               the whole session's flight recording (JSONL) —
+//	                             what gpmrfleet stitches into its fleet timeline
 //	GET    /metrics              Prometheus text exposition (counters + histograms)
 //	GET    /healthz              liveness: 200 "ok", or 503 "draining"
 //	POST   /fleet/register       gpmrfleet registration handshake

@@ -21,6 +21,18 @@
 //
 // replays every *.jsonl shard trace through the offline path and prints
 // a byte-identical merged report — the fleet smoke test diffs the two.
+//
+// Causal tracing: every submission is stamped with a trace ID (the
+// fleet tag, unless the submitter set one), the router records its own
+// decisions (route, retry, reroute, failover, steal, shard state
+// transitions) into a flight recorder saved via -obs, and GET /timeline
+// serves the live stitched fleet timeline — router lanes plus every
+// shard's flight recording. Offline,
+//
+//	gpmrfleet -replay tracedir/ -timeline
+//
+// rebuilds the identical timeline from the shard traces plus the saved
+// router.obs — byte for byte, the smoke test diffs that too.
 package main
 
 import (
@@ -36,6 +48,7 @@ import (
 	"time"
 
 	"repro/internal/fleet"
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
@@ -71,27 +84,54 @@ func main() {
 	replayDir := flag.String("replay", "", "replay every shard trace (*.jsonl) in this directory and print the merged report")
 	workers := flag.Int("workers", 0, "replay kernel-execution workers (see gpmrbench -workers)")
 	engineShards := flag.Int("engine-shards", 0, "replay DES engine shards (see gpmrbench -shards)")
+	obsPath := flag.String("obs", "", "write the router's own flight recording (JSONL) here at exit")
+	timeline := flag.String("timeline", "", "with -replay: write the stitched fleet timeline (Chrome trace JSON) here instead of the report ('-' = stdout)")
 	grace := flag.Duration("shutdown-grace", 10*time.Second, "graceful HTTP shutdown window for in-flight requests")
 	flag.Parse()
 
 	if *replayDir != "" {
-		rep, err := fleet.ReplayDir(*replayDir, serve.ReplayOptions{Workers: *workers, Shards: *engineShards})
+		opt := serve.ReplayOptions{Workers: *workers, Shards: *engineShards}
+		if *timeline != "" {
+			if err := stitchTo(*timeline, *replayDir, opt); err != nil {
+				log.Fatalf("gpmrfleet: %v", err)
+			}
+			return
+		}
+		rep, err := fleet.ReplayDir(*replayDir, opt)
 		if err != nil {
 			log.Fatalf("gpmrfleet: %v", err)
 		}
 		fmt.Print(rep)
 		return
 	}
+	if *timeline != "" {
+		log.Fatal("gpmrfleet: -timeline needs -replay (live mode serves GET /timeline instead)")
+	}
 	if len(shards) == 0 {
 		log.Fatal("gpmrfleet: need at least one -shard id=url (or -replay dir)")
 	}
-	if err := live(shards, *addr, *replicas, *loadFactor, *probe, *failAfter, *skew, *grace); err != nil {
+	if err := live(shards, *addr, *replicas, *loadFactor, *probe, *failAfter, *skew, *grace, *obsPath); err != nil {
 		log.Fatalf("gpmrfleet: %v", err)
 	}
 }
 
+// stitchTo writes the offline stitched fleet timeline to path ('-' for
+// stdout).
+func stitchTo(path, dir string, opt serve.ReplayOptions) error {
+	w := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return fleet.WriteStitchedDir(w, dir, opt)
+}
+
 func live(shards []fleet.Shard, addr string, replicas int, loadFactor float64,
-	probe time.Duration, failAfter, skew int, grace time.Duration) error {
+	probe time.Duration, failAfter, skew int, grace time.Duration, obsPath string) error {
 	rt, err := fleet.New(fleet.Config{
 		Shards:        shards,
 		Replicas:      replicas,
@@ -99,6 +139,7 @@ func live(shards []fleet.Shard, addr string, replicas int, loadFactor float64,
 		ProbeInterval: probe,
 		FailAfter:     failAfter,
 		SkewThreshold: skew,
+		Obs:           obs.New(),
 	})
 	if err != nil {
 		return err
@@ -135,6 +176,19 @@ func live(shards []fleet.Shard, addr string, replicas int, loadFactor float64,
 	resps, err := rt.Drain()
 	if err != nil {
 		log.Printf("gpmrfleet: drain: %v", err)
+	}
+	// The router's own recording, saved beside the shard traces, lets
+	// -replay -timeline rebuild the stitched fleet timeline offline.
+	if obsPath != "" {
+		f, err := os.Create(obsPath)
+		if err != nil {
+			log.Printf("gpmrfleet: obs: %v", err)
+		} else {
+			if err := rt.WriteObs(f); err != nil {
+				log.Printf("gpmrfleet: obs: %v", err)
+			}
+			f.Close()
+		}
 	}
 	// The merged report is the only thing on stdout: a replay of the
 	// shard traces must print byte-identical text.

@@ -28,10 +28,11 @@ func main() {
 	ranks := flag.Bool("ranks", false, "print per-rank traces")
 	tracePath := flag.String("trace", "", "write the job's flight recording as Chrome trace-event JSON (load in Perfetto)")
 	summary := flag.Bool("summary", false, "print the flight recording's utilization and critical-path summary (implies recording)")
+	explain := flag.Bool("explain", false, "print the job's phase breakdown and bottleneck attribution (implies recording)")
 	flag.Parse()
 
 	opts := bench.Options{PhysBudget: *phys, Seed: *seed}
-	if *tracePath != "" || *summary {
+	if *tracePath != "" || *summary || *explain {
 		opts.Obs = obs.New()
 	}
 	wall, tr, err := bench.Run(*benchName, *size, *gpus, opts)
@@ -56,6 +57,12 @@ func main() {
 	}
 	if *summary {
 		fmt.Print(obs.Summarize(opts.Obs.Canonical()).String())
+	}
+	if *explain {
+		evs := opts.Obs.Canonical()
+		for _, k := range obs.Jobs(evs) {
+			fmt.Print(obs.Explain(evs, k).String())
+		}
 	}
 	if *tracePath != "" {
 		f, err := os.Create(*tracePath)

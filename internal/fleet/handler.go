@@ -50,7 +50,11 @@ type handler struct {
 //	GET    /jobs/{id}            one fleet job record
 //	GET    /jobs/{id}/output     proxied to the owning shard
 //	GET    /jobs/{id}/timeline   proxied to the owning shard
+//	GET    /jobs/{id}/explain    shard's phase breakdown wrapped with the
+//	                             router hop record (?format=text for prose)
 //	DELETE /jobs/{id}            cancel, proxied to the owning shard
+//	GET    /timeline             live stitched fleet timeline (router +
+//	                             every shard, per-shard lane groups)
 //	GET    /shards               ring membership + per-shard health
 //	GET    /metrics              Prometheus text exposition (router counters)
 //	GET    /healthz              liveness: 200 "ok", or 503 "draining"
@@ -69,6 +73,8 @@ func NewHandler(rt *Router, cfg HandlerConfig) http.Handler {
 	mux.HandleFunc("DELETE /jobs/{id}", h.cancel)
 	mux.HandleFunc("GET /jobs/{id}/output", h.proxy("/output"))
 	mux.HandleFunc("GET /jobs/{id}/timeline", h.proxy("/timeline"))
+	mux.HandleFunc("GET /jobs/{id}/explain", h.explain)
+	mux.HandleFunc("GET /timeline", h.timeline)
 	mux.HandleFunc("GET /shards", func(w http.ResponseWriter, r *http.Request) {
 		h.writeJSON(w, http.StatusOK, rt.Status())
 	})
@@ -168,6 +174,68 @@ func (h *handler) proxy(suffix string) http.HandlerFunc {
 	}
 }
 
+// explain proxies a job's phase breakdown from its owning shard and
+// prepends the router's hop record — the fleet half of the causal
+// chain — so the answer covers router → shard → sched → core.
+func (h *handler) explain(w http.ResponseWriter, r *http.Request) {
+	id, ok := h.jobID(w, r)
+	if !ok {
+		return
+	}
+	job, ok := h.rt.Job(id)
+	if !ok {
+		h.writeJSON(w, http.StatusNotFound, map[string]string{"error": "no such job"})
+		return
+	}
+	text := r.URL.Query().Get("format") == "text"
+	suffix := "/explain"
+	if text {
+		suffix += "?format=text"
+	}
+	var buf bytes.Buffer
+	code, ctype, err := h.rt.Proxy(&buf, id, suffix)
+	if err != nil {
+		h.writeJSON(w, code, map[string]string{"error": err.Error()})
+		return
+	}
+	if code != http.StatusOK {
+		// The shard's own error answer passes through untouched.
+		if ctype != "" {
+			w.Header().Set("Content-Type", ctype)
+		}
+		w.WriteHeader(code)
+		w.Write(buf.Bytes())
+		return
+	}
+	if text {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "fleet: job %d  tag %s  trace %s  shard %s  attempts %d  state %s\n",
+			job.ID, job.Tag, job.TraceID, job.Shard, job.Attempts, job.State)
+		if _, err := w.Write(buf.Bytes()); err != nil {
+			h.cfg.Logf("fleet: writing explain response: %v", err)
+		}
+		return
+	}
+	h.writeJSON(w, http.StatusOK, struct {
+		Fleet   FleetJob        `json:"fleet"`
+		Explain json.RawMessage `json:"explain"`
+	}{job, json.RawMessage(bytes.TrimSpace(buf.Bytes()))})
+}
+
+// timeline serves the live stitched fleet timeline.
+func (h *handler) timeline(w http.ResponseWriter, r *http.Request) {
+	// Buffered: a shard fetch failure must still become a clean status.
+	var buf bytes.Buffer
+	if err := h.rt.WriteTimeline(&buf); err != nil {
+		h.writeJSON(w, http.StatusBadGateway, map[string]string{"error": err.Error()})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		h.cfg.Logf("fleet: writing timeline response: %v", err)
+	}
+}
+
 func (h *handler) drain(w http.ResponseWriter, r *http.Request) {
 	h.drainOnce.Do(func() {
 		defer close(h.drainDone)
@@ -218,6 +286,7 @@ func writeMetrics(w io.Writer, rt *Router) {
 	counter("gpmr_fleet_lost_total", "Jobs no survivor would take.", s.Lost)
 	counter("gpmr_fleet_steals_total", "Queued jobs rebalanced off a deep shard.", s.Steals)
 	counter("gpmr_fleet_transitions_total", "Ring membership changes.", s.Transitions)
+	counter("gpmr_fleet_probe_failures_total", "Failed interactions (probes or submissions) with non-down shards.", s.ProbeFails)
 	fmt.Fprintf(w, "# HELP gpmr_fleet_ring_epoch Current ring epoch.\n# TYPE gpmr_fleet_ring_epoch gauge\ngpmr_fleet_ring_epoch %d\n", st.Epoch)
 	fmt.Fprintln(w, "# HELP gpmr_fleet_shard_up Shard liveness (1 up, 0 draining or down).")
 	fmt.Fprintln(w, "# TYPE gpmr_fleet_shard_up gauge")
@@ -227,6 +296,19 @@ func writeMetrics(w io.Writer, rt *Router) {
 			up = 1
 		}
 		fmt.Fprintf(w, "gpmr_fleet_shard_up{shard=%q} %d\n", sh.ID, up)
+	}
+	// One-hot state gauge: dashboards see the current state directly, not
+	// just liveness — a draining shard is healthy but leaving.
+	fmt.Fprintln(w, "# HELP gpmr_fleet_shard_state Shard state one-hot (exactly one of up/draining/down is 1).")
+	fmt.Fprintln(w, "# TYPE gpmr_fleet_shard_state gauge")
+	for _, sh := range st.Shards {
+		for _, state := range []string{shardUp, shardDraining, shardDown} {
+			v := 0
+			if sh.State == state {
+				v = 1
+			}
+			fmt.Fprintf(w, "gpmr_fleet_shard_state{shard=%q,state=%q} %d\n", sh.ID, state, v)
+		}
 	}
 	fmt.Fprintln(w, "# HELP gpmr_fleet_routed_total Accepted submissions per shard.")
 	fmt.Fprintln(w, "# TYPE gpmr_fleet_routed_total counter")

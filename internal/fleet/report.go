@@ -87,7 +87,10 @@ func replayTrace(path string, opt serve.ReplayOptions) (serve.DrainResponse, err
 		Shard: shard, Epoch: tr.Header.Epoch,
 		Submitted: s.Submitted, Done: s.Done, Failed: s.Failed,
 		Cancelled: s.Cancelled,
-		Rejected:  s.RejectedShed + s.RejectedQuota + s.RejectedInvalid,
-		Report:    rep.String(),
+		// Every reject class, matching the live handler's s.rejected() —
+		// SLO rejects included, or an SLO-shedding fleet's replay would
+		// drift from its live drain.
+		Rejected: s.RejectedShed + s.RejectedQuota + s.RejectedInvalid + s.RejectedSLO,
+		Report:   rep.String(),
 	}, nil
 }

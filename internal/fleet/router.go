@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
@@ -71,6 +72,14 @@ type Config struct {
 	Client *http.Client
 	// Logf receives router diagnostics. Defaults to log.Printf.
 	Logf func(format string, args ...any)
+
+	// Obs, when set, records the router's own decisions — routes, retries,
+	// reroutes, failovers, steals, and shard state transitions — as obs
+	// events (streams "fleet/job/<tag>" and "fleet/shard/<id>", wall-clock
+	// nanoseconds since router start). The timeline stitcher merges them
+	// with the shards' virtual-time flight recordings into one causal
+	// chain. Nil disables recording.
+	Obs *obs.Recorder
 }
 
 func (c Config) withDefaults() Config {
@@ -143,6 +152,11 @@ type FleetJob struct {
 	Weight  int          `json:"weight,omitempty"`
 	MinGang int          `json:"minGang,omitempty"`
 
+	// TraceID is the causal correlation ID stamped on the submission
+	// (defaults to the fleet tag) and echoed by the shard into its job
+	// record, arrival trace, and obs streams.
+	TraceID string `json:"traceId,omitempty"`
+
 	Shard    string `json:"shard,omitempty"`  // owning shard
 	ShardJob int    `json:"shardJob"`         // id on the owning shard
 	State    string `json:"state"`            // router's last known state
@@ -176,12 +190,15 @@ type routerStats struct {
 	lost        int64 // jobs that could not be re-admitted anywhere
 	steals      int64 // queued jobs rebalanced away from a deep shard
 	transitions int64 // ring membership changes (epoch bumps)
+	probeFails  int64 // failed interactions with non-down shards
 }
 
 // Router is the fleet front door.
 type Router struct {
 	cfg  Config
 	ring *Ring
+	obs  *obs.Recorder // cfg.Obs; nil-safe
+	base time.Time     // router start, the zero of its obs clock
 
 	mu      sync.Mutex
 	shards  map[string]*shardRT
@@ -219,6 +236,8 @@ func New(cfg Config) (*Router, error) {
 	rt := &Router{
 		cfg:    cfg,
 		ring:   ring,
+		obs:    cfg.Obs,
+		base:   time.Now(),
 		shards: make(map[string]*shardRT, len(cfg.Shards)),
 		byTag:  make(map[string]*FleetJob),
 		stopc:  make(chan struct{}),
@@ -247,6 +266,26 @@ func (rt *Router) Start() {
 func (rt *Router) Stop() {
 	rt.stopOnce.Do(func() { close(rt.stopc) })
 	rt.wg.Wait()
+}
+
+// clockNs is the router's obs timebase: wall-clock nanoseconds since the
+// router started. The shards' recordings run on virtual time; the
+// stitched timeline keeps the two domains apart by lane group, and the
+// router events travel as recorded data (never recomputed), so live and
+// offline stitches of the same run agree byte for byte.
+func (rt *Router) clockNs() int64 {
+	return time.Since(rt.base).Nanoseconds()
+}
+
+// jobStream / shardStream name the router's obs timelines.
+func jobStream(tag string) string  { return "fleet/job/" + tag }
+func shardStream(id string) string { return "fleet/shard/" + id }
+
+// WriteObs dumps the router's own recording as canonical JSONL — the
+// offline stitcher's router-side input (conventionally RouterObsName in
+// the shard trace directory).
+func (rt *Router) WriteObs(w io.Writer) error {
+	return rt.obs.WriteJSONL(w)
 }
 
 // Epoch returns the current ring epoch.
@@ -293,7 +332,7 @@ func (rt *Router) recover() {
 			}
 			job := &FleetJob{
 				ID: len(rt.jobs), Tag: info.Tag, Tenant: info.Tenant, Kind: info.Kind,
-				Params: info.Params, Shard: id, ShardJob: info.ID,
+				Params: info.Params, TraceID: info.TraceID, Shard: id, ShardJob: info.ID,
 				State: info.Status, Reason: info.Reason, Attempts: 1,
 			}
 			rt.jobs = append(rt.jobs, job)
@@ -331,10 +370,15 @@ func (rt *Router) Submit(req serve.Request) SubmitStatus {
 		req.Tag = fmt.Sprintf("f%d", rt.nextTag)
 		rt.nextTag++
 	}
+	// Stamp the causal trace ID: submitter-chosen if present, else the
+	// fleet tag — every shard this job touches echoes it back.
+	if req.TraceID == "" {
+		req.TraceID = req.Tag
+	}
 	job := &FleetJob{
 		ID: len(rt.jobs), Tag: req.Tag, Tenant: req.Tenant, Kind: req.Kind,
 		Params: req.Params, Weight: req.Weight, MinGang: req.MinGang,
-		State: stateSubmitted,
+		TraceID: req.TraceID, State: stateSubmitted,
 	}
 	rt.jobs = append(rt.jobs, job)
 	rt.byTag[req.Tag] = job
@@ -391,12 +435,16 @@ func (rt *Router) route(req serve.Request, exclude map[string]bool) (serve.JobIn
 		rt.mu.Unlock()
 		shard, ok := rt.ring.Pick(req.Tenant, eligible, rt.cfg.LoadFactor)
 		if !ok {
+			rt.obs.Emit(rt.clockNs(), obs.CatSim, jobStream(req.Tag), "unrouted",
+				obs.Int("hops", int64(hop)))
 			return serve.JobInfo{}, 0, "", errors.New("fleet: no live shard can take the job")
 		}
 		if hop > 0 {
 			rt.mu.Lock()
 			rt.stats.reroutes++
 			rt.mu.Unlock()
+			rt.obs.Emit(rt.clockNs(), obs.CatSim, jobStream(req.Tag), "reroute",
+				obs.A("to", shard), obs.Int("hop", int64(hop)))
 		}
 		info, code, err := rt.postJob(shard, req)
 		if err != nil {
@@ -412,6 +460,8 @@ func (rt *Router) route(req serve.Request, exclude map[string]bool) (serve.JobIn
 			exclude[shard] = true
 			continue
 		}
+		rt.obs.Emit(rt.clockNs(), obs.CatSim, jobStream(req.Tag), "route",
+			obs.A("shard", shard), obs.Int("code", int64(code)), obs.Int("hops", int64(hop)))
 		return info, code, shard, nil
 	}
 }
@@ -444,6 +494,8 @@ func (rt *Router) postJob(shardID string, req serve.Request) (serve.JobInfo, int
 			rt.mu.Lock()
 			rt.stats.retries++
 			rt.mu.Unlock()
+			rt.obs.Emit(rt.clockNs(), obs.CatSim, jobStream(req.Tag), "retry",
+				obs.A("shard", shardID), obs.Int("try", int64(try)))
 		}
 		resp, err := rt.do(http.MethodPost, url+"/jobs", body, rt.cfg.SubmitTimeout)
 		if err != nil {
@@ -538,9 +590,11 @@ func (rt *Router) probeAll() (newlyDead []string) {
 				// were already re-admitted elsewhere.
 				s.state = shardUp
 				rt.epoch++
+				epoch := rt.epoch
 				rt.stats.transitions++
 				rt.mu.Unlock()
-				rt.cfg.Logf("fleet: shard %s rejoined (epoch %d)", id, rt.epoch)
+				rt.obs.Emit(rt.clockNs(), obs.CatSim, shardStream(id), "up", obs.Int("epoch", int64(epoch)))
+				rt.cfg.Logf("fleet: shard %s rejoined (epoch %d)", id, epoch)
 				rt.register(id)
 				continue
 			}
@@ -571,6 +625,7 @@ func (rt *Router) noteFailure(id string, err error) bool {
 	if s == nil || s.state == shardDown {
 		return false
 	}
+	rt.stats.probeFails++
 	s.fails++
 	if err != nil {
 		s.lastErr = err.Error()
@@ -581,6 +636,8 @@ func (rt *Router) noteFailure(id string, err error) bool {
 	s.state = shardDown
 	rt.epoch++
 	rt.stats.transitions++
+	rt.obs.Emit(rt.clockNs(), obs.CatSim, shardStream(id), "down",
+		obs.Int("epoch", int64(rt.epoch)), obs.A("err", s.lastErr))
 	rt.cfg.Logf("fleet: shard %s down after %d failed probes (epoch %d): %s", id, s.fails, rt.epoch, s.lastErr)
 	return true
 }
@@ -597,6 +654,7 @@ func (rt *Router) markDraining(id string) {
 	s.state = shardDraining
 	rt.epoch++
 	rt.stats.transitions++
+	rt.obs.Emit(rt.clockNs(), obs.CatSim, shardStream(id), "draining", obs.Int("epoch", int64(rt.epoch)))
 	rt.cfg.Logf("fleet: shard %s draining (epoch %d)", id, rt.epoch)
 }
 
@@ -673,7 +731,7 @@ func (rt *Router) failover(dead string) {
 	rt.cfg.Logf("fleet: shard %s lost with %d unfinished jobs — re-admitting", dead, len(orphans))
 	for _, j := range orphans {
 		req := serve.Request{Tenant: j.Tenant, Kind: j.Kind, Params: j.Params,
-			Weight: j.Weight, MinGang: j.MinGang, Tag: j.Tag}
+			Weight: j.Weight, MinGang: j.MinGang, Tag: j.Tag, TraceID: j.TraceID}
 		info, code, shardID, err := rt.route(req, map[string]bool{dead: true})
 		rt.mu.Lock()
 		switch {
@@ -681,6 +739,7 @@ func (rt *Router) failover(dead string) {
 			j.State = "failed"
 			j.Reason = "shard " + dead + " lost; re-admission failed: " + err.Error()
 			rt.stats.lost++
+			rt.obs.Emit(rt.clockNs(), obs.CatSim, jobStream(j.Tag), "lost", obs.A("from", dead))
 		case code == http.StatusAccepted:
 			j.Shard = shardID
 			j.ShardJob = info.ID
@@ -689,11 +748,14 @@ func (rt *Router) failover(dead string) {
 			j.Attempts++
 			rt.stats.failovers++
 			rt.shards[shardID].routed++
+			rt.obs.Emit(rt.clockNs(), obs.CatSim, jobStream(j.Tag), "failover",
+				obs.A("from", dead), obs.A("to", shardID))
 		default:
 			// The survivor shed it: an explicit terminal answer.
 			j.State = "failed"
 			j.Reason = "shard " + dead + " lost; re-admission rejected: " + info.Reason
 			rt.stats.lost++
+			rt.obs.Emit(rt.clockNs(), obs.CatSim, jobStream(j.Tag), "lost", obs.A("from", dead))
 		}
 		rt.mu.Unlock()
 	}
@@ -757,7 +819,7 @@ func (rt *Router) rebalance() {
 		return
 	}
 	req := serve.Request{Tenant: victim.Tenant, Kind: victim.Kind, Params: victim.Params,
-		Weight: victim.Weight, MinGang: victim.MinGang, Tag: tag}
+		Weight: victim.Weight, MinGang: victim.MinGang, Tag: tag, TraceID: victim.TraceID}
 	info, code, err := rt.postJob(shallow, req)
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
@@ -776,6 +838,8 @@ func (rt *Router) rebalance() {
 	victim.Attempts++
 	rt.stats.steals++
 	rt.shards[shallow].routed++
+	rt.obs.Emit(rt.clockNs(), obs.CatSim, jobStream(tag), "steal",
+		obs.A("from", deep), obs.A("to", shallow))
 	rt.cfg.Logf("fleet: stole job %s from %s (depth %d) to %s (depth %d)",
 		tag, deep, depth[deep], shallow, depth[shallow])
 }
@@ -834,6 +898,7 @@ type Stats struct {
 	Lost        int64 `json:"lost"`        // jobs no survivor would take
 	Steals      int64 `json:"steals"`      // queued jobs rebalanced off a deep shard
 	Transitions int64 `json:"transitions"` // ring membership changes
+	ProbeFails  int64 `json:"probeFails"`  // failed interactions with non-down shards
 }
 
 // Stats snapshots the router's counters.
@@ -845,7 +910,7 @@ func (rt *Router) Stats() Stats {
 		Submitted: s.submitted, Accepted: s.accepted, Rejected: s.rejected,
 		Unrouted: s.unrouted, Retries: s.retries, Reroutes: s.reroutes,
 		Failovers: s.failovers, Lost: s.lost, Steals: s.steals,
-		Transitions: s.transitions,
+		Transitions: s.transitions, ProbeFails: s.probeFails,
 	}
 }
 

@@ -3,6 +3,7 @@ package obs
 import (
 	"bufio"
 	"encoding/json"
+	"fmt"
 	"io"
 	"sort"
 	"strconv"
@@ -91,6 +92,21 @@ func usec(ns int64) string {
 // become complete ("X") events and instants thread-scoped ("i") events.
 // keep, when non-nil, filters by stream. Output is byte-deterministic.
 func WriteChrome(w io.Writer, evs []Event, keep func(stream string) bool) error {
+	return writeChrome(w, evs, keep, nil)
+}
+
+// WriteChromeGrouped serializes events as Chrome trace-event JSON with
+// streams grouped into process lanes: groupOf maps each stream to a group
+// name, each group becomes one pid (groups sorted by name), and the
+// streams inside a group become its thread lanes. The fleet timeline
+// stitcher uses it to render each shard — and the router — as its own
+// lane group in Perfetto. A nil groupOf collapses to WriteChrome's single
+// "gpmr" group.
+func WriteChromeGrouped(w io.Writer, evs []Event, groupOf func(stream string) string) error {
+	return writeChrome(w, evs, nil, groupOf)
+}
+
+func writeChrome(w io.Writer, evs []Event, keep func(stream string) bool, groupOf func(stream string) string) error {
 	if keep != nil {
 		kept := make([]Event, 0, len(evs))
 		for _, e := range evs {
@@ -100,44 +116,80 @@ func WriteChrome(w io.Writer, evs []Event, keep func(stream string) bool) error 
 		}
 		evs = kept
 	}
-	// Stable lane assignment: streams sorted by name.
-	tids := make(map[string]int)
-	var streams []string
+	single := groupOf == nil
+	if single {
+		groupOf = func(string) string { return "gpmr" }
+	}
+	// Stable lane assignment: groups sorted by name become pids, the
+	// streams inside each group — sorted by name — its tids.
+	perGroup := make(map[string][]string)
+	var groups []string
+	seen := make(map[string]bool)
 	for i := range evs {
-		if _, ok := tids[evs[i].Stream]; !ok {
-			tids[evs[i].Stream] = 0
-			streams = append(streams, evs[i].Stream)
+		s := evs[i].Stream
+		if seen[s] {
+			continue
 		}
+		seen[s] = true
+		g := groupOf(s)
+		if _, ok := perGroup[g]; !ok {
+			groups = append(groups, g)
+		}
+		perGroup[g] = append(perGroup[g], s)
 	}
-	sort.Strings(streams)
-	for i, s := range streams {
-		tids[s] = i + 1
+	if single && len(groups) == 0 {
+		// The single-group format always carries its process_name record,
+		// even for an empty recording.
+		groups = append(groups, "gpmr")
 	}
+	sort.Strings(groups)
 
+	type lane struct{ pid, tid int }
+	lanes := make(map[string]lane)
 	bw := bufio.NewWriter(w)
 	bw.WriteString(`{"displayTimeUnit":"ms","traceEvents":[` + "\n")
-	bw.WriteString(`{"ph":"M","pid":1,"tid":0,"name":"process_name","args":{"name":"gpmr"}}`)
-	for _, s := range streams {
-		bw.WriteString(",\n")
-		bw.WriteString(`{"ph":"M","pid":1,"tid":`)
-		bw.WriteString(strconv.Itoa(tids[s]))
-		bw.WriteString(`,"name":"thread_name","args":{"name":`)
-		bw.WriteString(jstr(s))
+	for gi, g := range groups {
+		pid := gi + 1
+		if gi > 0 {
+			bw.WriteString(",\n")
+		}
+		bw.WriteString(`{"ph":"M","pid":`)
+		bw.WriteString(strconv.Itoa(pid))
+		bw.WriteString(`,"tid":0,"name":"process_name","args":{"name":`)
+		bw.WriteString(jstr(g))
 		bw.WriteString(`}}`)
+		streams := perGroup[g]
+		sort.Strings(streams)
+		for ti, s := range streams {
+			lanes[s] = lane{pid: pid, tid: ti + 1}
+			bw.WriteString(",\n")
+			bw.WriteString(`{"ph":"M","pid":`)
+			bw.WriteString(strconv.Itoa(pid))
+			bw.WriteString(`,"tid":`)
+			bw.WriteString(strconv.Itoa(ti + 1))
+			bw.WriteString(`,"name":"thread_name","args":{"name":`)
+			bw.WriteString(jstr(s))
+			bw.WriteString(`}}`)
+		}
 	}
 	for i := range evs {
 		e := &evs[i]
+		l := lanes[e.Stream]
 		bw.WriteString(",\n")
 		if e.Dur > 0 {
-			bw.WriteString(`{"ph":"X","pid":1,"tid":`)
-			bw.WriteString(strconv.Itoa(tids[e.Stream]))
+			bw.WriteString(`{"ph":"X","pid":`)
+			bw.WriteString(strconv.Itoa(l.pid))
+			bw.WriteString(`,"tid":`)
+			bw.WriteString(strconv.Itoa(l.tid))
 			bw.WriteString(`,"ts":`)
 			bw.WriteString(usec(e.T))
 			bw.WriteString(`,"dur":`)
 			bw.WriteString(usec(e.Dur))
 		} else {
-			bw.WriteString(`{"ph":"i","pid":1,"tid":`)
-			bw.WriteString(strconv.Itoa(tids[e.Stream]))
+			bw.WriteString(`{"ph":"i","pid":`)
+			bw.WriteString(strconv.Itoa(l.pid))
+			bw.WriteString(`,"tid":`)
+			bw.WriteString(strconv.Itoa(l.tid))
 			bw.WriteString(`,"ts":`)
 			bw.WriteString(usec(e.T))
 			bw.WriteString(`,"s":"t"`)
@@ -157,4 +209,123 @@ func WriteChrome(w io.Writer, evs []Event, keep func(stream string) bool) error 
 	}
 	bw.WriteString("\n]}\n")
 	return bw.Flush()
+}
+
+// ReadJSONL parses a canonical JSON Lines export back into an event
+// slice, inverting WriteJSONL: field order, attribute order, and the
+// per-stream sequence numbers (reassigned in file order, which within a
+// stream is emission order) all round-trip, so writing the result back
+// out reproduces the input byte for byte. Events read this way are
+// CatSim — the canonical export never contains engine events.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	dec := json.NewDecoder(r)
+	dec.UseNumber()
+	str := func(field string) (string, error) {
+		tok, err := dec.Token()
+		if err != nil {
+			return "", fmt.Errorf("obs: reading JSONL field %q: %w", field, err)
+		}
+		s, ok := tok.(string)
+		if !ok {
+			return "", fmt.Errorf("obs: reading JSONL field %q: got %v, want string", field, tok)
+		}
+		return s, nil
+	}
+	num := func(field string) (int64, error) {
+		tok, err := dec.Token()
+		if err != nil {
+			return 0, fmt.Errorf("obs: reading JSONL field %q: %w", field, err)
+		}
+		n, ok := tok.(json.Number)
+		if !ok {
+			return 0, fmt.Errorf("obs: reading JSONL field %q: got %v, want number", field, tok)
+		}
+		v, err := n.Int64()
+		if err != nil {
+			return 0, fmt.Errorf("obs: reading JSONL field %q: %w", field, err)
+		}
+		return v, nil
+	}
+	delim := func(want rune) error {
+		tok, err := dec.Token()
+		if err != nil {
+			return fmt.Errorf("obs: reading JSONL: %w", err)
+		}
+		if d, ok := tok.(json.Delim); !ok || rune(d) != want {
+			return fmt.Errorf("obs: reading JSONL: got %v, want %q", tok, want)
+		}
+		return nil
+	}
+
+	seqs := make(map[string]uint64)
+	var evs []Event
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			return evs, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("obs: reading JSONL: %w", err)
+		}
+		if d, ok := tok.(json.Delim); !ok || d != '{' {
+			return nil, fmt.Errorf("obs: reading JSONL: got %v, want object", tok)
+		}
+		var e Event
+		for dec.More() {
+			key, err := str("key")
+			if err != nil {
+				return nil, err
+			}
+			switch key {
+			case "t":
+				if e.T, err = num(key); err != nil {
+					return nil, err
+				}
+			case "dur":
+				if e.Dur, err = num(key); err != nil {
+					return nil, err
+				}
+			case "stream":
+				if e.Stream, err = str(key); err != nil {
+					return nil, err
+				}
+			case "kind":
+				if e.Kind, err = str(key); err != nil {
+					return nil, err
+				}
+			case "attrs":
+				// Decoded token by token, not into a map: attribute
+				// order is part of the canonical format.
+				if err := delim('{'); err != nil {
+					return nil, err
+				}
+				for dec.More() {
+					k, err := str("attr key")
+					if err != nil {
+						return nil, err
+					}
+					v, err := str(k)
+					if err != nil {
+						return nil, err
+					}
+					e.Attrs = append(e.Attrs, Attr{K: k, V: v})
+				}
+				if err := delim('}'); err != nil {
+					return nil, err
+				}
+			default:
+				var skip json.RawMessage
+				if err := dec.Decode(&skip); err != nil {
+					return nil, fmt.Errorf("obs: reading JSONL field %q: %w", key, err)
+				}
+			}
+		}
+		if err := delim('}'); err != nil {
+			return nil, err
+		}
+		e.Cat = CatSim
+		e.Seq = seqs[e.Stream]
+		seqs[e.Stream] = e.Seq + 1
+		evs = append(evs, e)
+	}
 }

@@ -201,6 +201,12 @@ func (r *Recorder) Canonical() []Event {
 	return out
 }
 
+// Sort orders an event slice canonically, by (time, stream, per-stream
+// seq) — the same order Events and Canonical return. Mergers that combine
+// events from several recorders (e.g. the fleet timeline stitcher) use it
+// to restore canonical order after concatenation.
+func Sort(evs []Event) { sortCanonical(evs) }
+
 // sortCanonical orders events by (time, stream, per-stream seq). Distinct
 // streams never share a (stream, seq) pair, so the order is total.
 func sortCanonical(evs []Event) {

@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"reflect"
+	"testing"
+)
+
+// Edge cases for Summarize: the summary must be deterministic and sane
+// for degenerate recordings, not just the happy-path pipeline traces
+// obs_test.go covers.
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.MakespanNs != 0 || len(s.Streams) != 0 || len(s.Phases) != 0 {
+		t.Fatalf("empty summary: %+v", s)
+	}
+	if s.Critical.Stream != "" || len(s.Critical.Steps) != 0 {
+		t.Fatalf("empty critical path: %+v", s.Critical)
+	}
+	want := "makespan 0.000ms\ncritical path:  ends 0.000ms (0 steps)\n"
+	if got := s.String(); got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestSummarizeZeroDurationSpans(t *testing.T) {
+	r := New()
+	r.Emit(10, CatSim, "a", "tick")
+	r.Span(20, 20, CatSim, "b", "blip") // zero-length span = instant
+	s := Summarize(r.Canonical())
+	// Instants anchor the makespan and critical stream but contribute no
+	// busy time and no phase stats.
+	if s.MakespanNs != 20 {
+		t.Fatalf("makespan = %d", s.MakespanNs)
+	}
+	if len(s.Streams) != 0 || len(s.Phases) != 0 {
+		t.Fatalf("instants must not produce utilization or phases: %+v", s)
+	}
+	if s.Critical.Stream != "b" || len(s.Critical.Steps) != 0 {
+		t.Fatalf("critical path: %+v", s.Critical)
+	}
+}
+
+func TestSummarizeSingleStream(t *testing.T) {
+	r := New()
+	r.Span(0, 10, CatSim, "only", "work")
+	r.Span(5, 25, CatSim, "only", "work") // overlap counted once
+	r.Span(40, 50, CatSim, "only", "work")
+	s := Summarize(r.Canonical())
+	if s.MakespanNs != 50 {
+		t.Fatalf("makespan = %d", s.MakespanNs)
+	}
+	want := []StreamUtil{{Stream: "only", BusyNs: 35, Util: 0.7}}
+	if !reflect.DeepEqual(s.Streams, want) {
+		t.Fatalf("streams = %+v, want %+v", s.Streams, want)
+	}
+	if s.Critical.Stream != "only" || len(s.Critical.Steps) != 3 {
+		t.Fatalf("critical path: %+v", s.Critical)
+	}
+	if len(s.Phases) != 1 || s.Phases[0].Count != 3 || s.Phases[0].TotalNs != 40 {
+		t.Fatalf("phases: %+v", s.Phases)
+	}
+}
+
+func TestSummarizeCriticalPathTie(t *testing.T) {
+	// Two streams end at the same instant; the first event reaching that
+	// end in canonical order must win, deterministically.
+	r := New()
+	r.Span(0, 100, CatSim, "z", "work")
+	r.Span(0, 100, CatSim, "a", "work")
+	s1 := Summarize(r.Canonical())
+	if s1.Critical.Stream != "a" {
+		t.Fatalf("tie winner = %q, want first in canonical order %q", s1.Critical.Stream, "a")
+	}
+	// Same events emitted in the opposite order: canonical order — and so
+	// the tie winner — must not change.
+	r2 := New()
+	r2.Span(0, 100, CatSim, "a", "work")
+	r2.Span(0, 100, CatSim, "z", "work")
+	s2 := Summarize(r2.Canonical())
+	if s2.Critical.Stream != s1.Critical.Stream {
+		t.Fatalf("tie not deterministic: %q vs %q", s1.Critical.Stream, s2.Critical.Stream)
+	}
+	if s1.String() != s2.String() {
+		t.Fatalf("String differs:\n%s\nvs\n%s", s1.String(), s2.String())
+	}
+}

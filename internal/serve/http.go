@@ -65,8 +65,11 @@ type FleetRegistration struct {
 //	GET    /jobs                 list all job records
 //	GET    /jobs/{id}            one job record
 //	GET    /jobs/{id}/timeline   the job's flight-recorder timeline (Chrome trace JSON)
+//	GET    /jobs/{id}/explain    phase breakdown + bottleneck attribution
+//	                             (JSON; ?format=text for the fixed-format report)
 //	GET    /jobs/{id}/output     a completed job's canonical output text
 //	DELETE /jobs/{id}            cancel a queued job
+//	GET    /flight               the full flight recording as canonical JSONL
 //	GET    /metrics              Prometheus text exposition
 //	GET    /healthz              liveness: 200 "ok", or 503 "draining"
 //	POST   /fleet/register       router handshake: stamp shard id + ring epoch
@@ -85,7 +88,9 @@ func NewHandler(sv *Server, cfg HandlerConfig) http.Handler {
 	mux.HandleFunc("GET /jobs/{id}", h.job)
 	mux.HandleFunc("DELETE /jobs/{id}", h.cancel)
 	mux.HandleFunc("GET /jobs/{id}/timeline", h.timeline)
+	mux.HandleFunc("GET /jobs/{id}/explain", h.explain)
 	mux.HandleFunc("GET /jobs/{id}/output", h.output)
+	mux.HandleFunc("GET /flight", h.flight)
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		sv.WriteMetrics(w)
@@ -209,6 +214,44 @@ func (h *handler) timeline(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	if _, err := w.Write(buf.Bytes()); err != nil {
 		h.cfg.Logf("serve: writing timeline response: %v", err)
+	}
+}
+
+func (h *handler) explain(w http.ResponseWriter, r *http.Request) {
+	id, ok := h.jobID(w, r)
+	if !ok {
+		return
+	}
+	ex, err := h.sv.Explain(id)
+	switch {
+	case errors.Is(err, ErrUnknownJob):
+		h.httpError(w, http.StatusNotFound, err.Error())
+		return
+	case err != nil:
+		// ErrNoRecorder: the daemon was started without a flight recorder.
+		h.httpError(w, http.StatusConflict, err.Error())
+		return
+	}
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if _, err := io.WriteString(w, ex.String()); err != nil {
+			h.cfg.Logf("serve: writing explain response: %v", err)
+		}
+		return
+	}
+	h.writeJSON(w, http.StatusOK, ex)
+}
+
+func (h *handler) flight(w http.ResponseWriter, r *http.Request) {
+	// Buffered like timeline: render errors become clean statuses.
+	var buf bytes.Buffer
+	if err := h.sv.WriteFlight(&buf); err != nil {
+		h.httpError(w, http.StatusConflict, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/jsonl")
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		h.cfg.Logf("serve: writing flight response: %v", err)
 	}
 }
 

@@ -97,6 +97,12 @@ type Request struct {
 	// restart, tags are what let re-admitted jobs be matched to their
 	// fleet-level identity.
 	Tag string
+	// TraceID is the causal correlation ID threaded through the whole
+	// stack: the fleet router stamps one on every submission it routes
+	// (defaulting to the fleet tag), and serve echoes it into the job
+	// record, the arrival trace, and the job's obs streams, so a job's
+	// journey router -> shard -> sched -> core reads as one chain.
+	TraceID string
 }
 
 // JobInfo is the service's record of one submission. All times are
@@ -108,6 +114,9 @@ type JobInfo struct {
 	Name   string `json:"name"`
 	Params Params `json:"params,omitempty"`
 	Tag    string `json:"tag,omitempty"`
+	// TraceID is the fleet-level causal correlation ID (see
+	// Request.TraceID); empty for direct submissions.
+	TraceID string `json:"traceId,omitempty"`
 
 	State  State  `json:"-"`
 	Status string `json:"state"` // State.String(), kept in sync for JSON
@@ -441,19 +450,26 @@ func (ses *session) arrive(now des.Time, req Request) JobInfo {
 	if ses.rec != nil {
 		ses.rec.Arrive(Arrival{Seq: id, At: now, Tenant: req.Tenant, Kind: req.Kind,
 			Params: req.Params, Weight: req.Weight, MinGang: req.MinGang, Tag: req.Tag,
-			Class: req.Class, Deadline: req.Deadline, Downgrade: req.Downgrade,
-			Elastic: req.Elastic})
+			TraceID: req.TraceID, Class: req.Class, Deadline: req.Deadline,
+			Downgrade: req.Downgrade, Elastic: req.Elastic})
 	}
 
 	info := &JobInfo{
 		ID: id, Tenant: req.Tenant, Kind: req.Kind, Name: name, Params: req.Params,
-		Tag: req.Tag, Arrival: now, State: Rejected, Status: Rejected.String(),
+		Tag: req.Tag, TraceID: req.TraceID, Arrival: now,
+		State: Rejected, Status: Rejected.String(),
 	}
 	ses.runnables = append(ses.runnables, nil)
 	ses.schedOf = append(ses.schedOf, -1)
 	if r := ses.cl.Obs; r.Enabled() {
-		r.Emit(int64(now), obs.CatSim, "serve/"+name, "arrive",
-			obs.A("tenant", req.Tenant), obs.A("kind", req.Kind))
+		// The trace attr ties this job's streams to the fleet-level causal
+		// chain; attached only when present so pre-fleet recordings stay
+		// byte-identical.
+		attrs := []obs.Attr{obs.A("tenant", req.Tenant), obs.A("kind", req.Kind)}
+		if req.TraceID != "" {
+			attrs = append(attrs, obs.A("trace", req.TraceID))
+		}
+		r.Emit(int64(now), obs.CatSim, "serve/"+name, "arrive", attrs...)
 	}
 
 	ses.mu.Lock()
@@ -1115,8 +1131,8 @@ func replaySession(tr *Trace, opt ReplayOptions) (*session, des.Time, error) {
 			if a := ev.Arrive; a != nil {
 				info := ses.arrive(p.Now(), Request{Tenant: a.Tenant, Kind: a.Kind,
 					Params: a.Params, Weight: a.Weight, MinGang: a.MinGang, Tag: a.Tag,
-					Class: a.Class, Deadline: a.Deadline, Downgrade: a.Downgrade,
-					Elastic: a.Elastic})
+					TraceID: a.TraceID, Class: a.Class, Deadline: a.Deadline,
+					Downgrade: a.Downgrade, Elastic: a.Elastic})
 				if info.ID != a.Seq {
 					panic(fmt.Sprintf("serve: replay assigned ID %d to recorded seq %d", info.ID, a.Seq))
 				}

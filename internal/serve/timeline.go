@@ -3,7 +3,6 @@ package serve
 import (
 	"fmt"
 	"io"
-	"strings"
 
 	"repro/internal/obs"
 )
@@ -31,10 +30,40 @@ func (ses *session) writeTimeline(w io.Writer, name string) error {
 	if !r.Enabled() {
 		return ErrNoRecorder
 	}
-	return r.WriteChromeFiltered(w, func(stream string) bool {
-		return stream == "serve/"+name || stream == "sched/"+name ||
-			strings.HasPrefix(stream, name+"/r")
-	})
+	return r.WriteChromeFiltered(w, obs.JobStreams(name))
+}
+
+// WriteFlight dumps the flight recorder's canonical event set as JSONL —
+// the raw material the fleet timeline stitcher pulls from each shard.
+func (sv *Server) WriteFlight(w io.Writer) error {
+	r := sv.ses.cl.Obs
+	if !r.Enabled() {
+		return ErrNoRecorder
+	}
+	return r.WriteJSONL(w)
+}
+
+// Explain decomposes one job's end-to-end latency from the flight
+// recorder: a gap-free phase breakdown (wait, launch, map, shuffle,
+// sort, reduce, commit) along the critical rank, dominant-bottleneck
+// attribution, and disturbance counters. Deterministic: the recording is
+// a pure function of the arrival stream, so the same jobs explain
+// byte-identically at any shard count and kernel backend.
+func (sv *Server) Explain(id int) (obs.Explanation, error) {
+	info, ok := sv.Job(id)
+	if !ok {
+		return obs.Explanation{}, fmt.Errorf("%w: %d", ErrUnknownJob, id)
+	}
+	return sv.ses.explain(info.Name)
+}
+
+// explain is the session half, shared with replay-driven tests.
+func (ses *session) explain(name string) (obs.Explanation, error) {
+	r := ses.cl.Obs
+	if !r.Enabled() {
+		return obs.Explanation{}, ErrNoRecorder
+	}
+	return obs.ExplainJob(r.Canonical(), name), nil
 }
 
 // WriteTrace renders the full flight-recorder trace: every stream, as

@@ -73,6 +73,10 @@ type Arrival struct {
 	// Tag is the submitter's correlation handle (the fleet router keys its
 	// job table on it); it passes through admission untouched.
 	Tag string `json:"tag,omitempty"`
+	// TraceID is the fleet-level causal correlation ID (see
+	// Request.TraceID). Omitted for direct submissions, keeping pre-fleet
+	// traces byte-identical.
+	TraceID string `json:"traceId,omitempty"`
 }
 
 // Cancel is one cancellation request, aimed at a previously recorded

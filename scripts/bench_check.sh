@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Regression gate for the sharded-engine benchmark artifact: re-run
+# `gpmrbench -exp engine` fresh and compare it against the committed
+# BENCH_engine.json. The shape is the gate — same schema, same ordered
+# (shards, engines, workers) rows, positive wall times and speedups.
+# Absolute wall-clock times are only compared (within BENCH_TOL,
+# default 50%) when the fresh run's GOMAXPROCS matches the committed
+# artifact's and is > 1; the committed numbers may come from a
+# different machine, so cross-machine times are advisory.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+committed=BENCH_engine.json
+[ -f "$committed" ] || { echo "bench_check: no committed $committed"; exit 1; }
+
+workdir="$(mktemp -d)"
+cp "$committed" "$workdir/committed.json"
+restore() { cp "$workdir/committed.json" "$committed"; rm -rf "$workdir"; }
+trap restore EXIT
+
+# -exp engine writes BENCH_engine.json into the working directory: let
+# it, then move the fresh artifact aside (the trap restores the
+# committed one).
+go run ./cmd/gpmrbench -exp engine >"$workdir/engine.out"
+mv "$committed" "$workdir/fresh.json"
+
+python3 - "$workdir/committed.json" "$workdir/fresh.json" <<'EOF'
+import json, os, sys
+
+c = json.load(open(sys.argv[1]))
+f = json.load(open(sys.argv[2]))
+assert c["schema"] == f["schema"], ("schema drift", c["schema"], f["schema"])
+for key in ("experiment", "jobs", "gpus"):
+    assert c[key] == f[key], (key, c[key], f[key])
+ck = [(r["shards"], r["engines"], r["workers"]) for r in c["rows"]]
+fk = [(r["shards"], r["engines"], r["workers"]) for r in f["rows"]]
+assert ck == fk, ("row shape drift", ck, fk)
+for r in f["rows"]:
+    assert r["ns"] > 0 and r["speedup"] > 0, ("degenerate row", r)
+if c["gomaxprocs"] == f["gomaxprocs"] and f["gomaxprocs"] > 1:
+    tol = float(os.environ.get("BENCH_TOL", "0.5"))
+    for rc, rf in zip(c["rows"], f["rows"]):
+        lo, hi = rc["ns"] * (1 - tol), rc["ns"] * (1 + tol)
+        assert lo <= rf["ns"] <= hi, ("wall-clock regression", rc, rf)
+    checked = "times within %d%%" % (tol * 100)
+else:
+    checked = "times advisory (gomaxprocs %d vs %d)" % (c["gomaxprocs"], f["gomaxprocs"])
+print("bench_check: %d rows match the committed shape; %s" % (len(fk), checked))
+EOF

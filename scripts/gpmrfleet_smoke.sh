@@ -6,10 +6,14 @@
 #   3. SIGKILL the shard owning the "hot" tenant while it still holds
 #      unfinished work, and verify the router marks it down, re-admits
 #      the orphans onto survivors, and rides every job to completion,
-#   4. drain the fleet via POST /drain and capture the merged report,
-#   5. remove the dead shard's partial trace and replay the survivors'
+#   4. fetch a job's /explain breakdown (JSON + text) and the live
+#      stitched fleet /timeline,
+#   5. drain the fleet via POST /drain and capture the merged report,
+#   6. remove the dead shard's partial trace and replay the survivors'
 #      traces with gpmrfleet -replay,
-#   6. diff the live merged report against the replay byte for byte.
+#   7. diff the live merged report against the replay, and the live
+#      stitched timeline against the offline -timeline stitch, byte for
+#      byte.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -39,6 +43,7 @@ rbase="http://$raddr"
   -shard "s1=http://${shard_addr[s1]}" \
   -shard "s2=http://${shard_addr[s2]}" \
   -load-factor -1 -probe 100ms -fail-after 2 -skew -1 \
+  -obs "$workdir/traces/router.obs" \
   >"$workdir/router.out" 2>"$workdir/router.log" &
 rpid=$!
 pids="$pids $rpid"
@@ -115,8 +120,39 @@ done
 # Failover must actually have happened, and be visible in the metrics.
 curl -fsS "$rbase/metrics" >"$workdir/metrics.txt"
 grep -q "gpmr_fleet_shard_up{shard=\"$victim\"} 0" "$workdir/metrics.txt"
+grep -q "gpmr_fleet_shard_state{shard=\"$victim\",state=\"down\"} 1" "$workdir/metrics.txt"
 failovers="$(awk '/^gpmr_fleet_failovers_total /{print $2}' "$workdir/metrics.txt")"
 [ "$failovers" -ge 1 ] || { echo "no failovers recorded"; cat "$workdir/metrics.txt"; exit 1; }
+probefails="$(awk '/^gpmr_fleet_probe_failures_total /{print $2}' "$workdir/metrics.txt")"
+[ "$probefails" -ge 1 ] || { echo "dead shard produced no probe failures"; cat "$workdir/metrics.txt"; exit 1; }
+
+# Explain: the router wraps the owning shard's phase breakdown with its
+# own hop record; the phases must partition the job's latency exactly.
+curl -fsS "$rbase/jobs/0/explain" >"$workdir/explain.json"
+python3 -c '
+import json, sys
+d = json.load(open(sys.argv[1]))
+ex = d["explain"]
+assert d["fleet"]["id"] == 0 and d["fleet"]["traceId"], d["fleet"]
+assert d["fleet"]["traceId"] == ex.get("traceId"), (d["fleet"], ex)
+phases = ex["phases"]
+assert phases, ex
+assert sum(p["durNs"] for p in phases) == ex["latencyNs"], ex
+print("explain: job 0 state %s, %d phases, bottleneck %s %.1f%%"
+      % (ex["state"], len(phases), ex.get("bottleneck"), ex.get("bottleneckPct", 0)))' \
+  "$workdir/explain.json"
+curl -fsS "$rbase/jobs/0/explain?format=text" >"$workdir/explain.txt"
+head -1 "$workdir/explain.txt" | grep -q '^fleet: job 0 ' || {
+  echo "text explain missing the fleet hop line"; cat "$workdir/explain.txt"; exit 1; }
+grep -q 'bottleneck' "$workdir/explain.txt"
+
+# The live stitched fleet timeline: router lanes + every live shard's
+# flight recording, as one Chrome trace.
+curl -fsS "$rbase/timeline" >"$workdir/live_timeline.json"
+python3 -c '
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert d["traceEvents"], "empty stitched timeline"' "$workdir/live_timeline.json"
 
 # Drain the fleet: the handshake answers with the merged report, the
 # router prints the same report to stdout on exit, and each surviving
@@ -143,4 +179,13 @@ if ! diff -u "$workdir/live_merged.txt" "$workdir/replay.out"; then
   exit 1
 fi
 
-echo "gpmrfleet smoke: $n jobs, $failovers failed over past dead $victim; merged report matches replay ($(wc -l <"$workdir/replay.out") lines)"
+# Stitch the same directory (survivor traces + the router's saved
+# recording) into the fleet timeline offline: it must be byte-identical
+# to the live /timeline captured before the drain.
+"$workdir/gpmrfleet" -replay "$workdir/traces" -timeline - >"$workdir/offline_timeline.json"
+if ! diff -q "$workdir/live_timeline.json" "$workdir/offline_timeline.json"; then
+  echo "live and offline stitched timelines differ"
+  exit 1
+fi
+
+echo "gpmrfleet smoke: $n jobs, $failovers failed over past dead $victim; merged report and stitched timeline match replay ($(wc -l <"$workdir/replay.out") lines)"
